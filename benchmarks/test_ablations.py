@@ -1,0 +1,285 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* **Flow-entry timeouts** (Section III-A / VI): shorter soft timeouts
+  produce more control traffic (better visibility, more load).
+* **Wildcard vs microflow rules** (Section VI): wildcards reduce control
+  traffic but coarsen the measurements FlowDiff can build.
+* **Proactive deployment** (Section VI): no control traffic, FlowDiff
+  goes blind — "FlowDiff would not be suitable for OpenFlow operational
+  modes that remove ... the control traffic".
+* **min_sup** for task mining: lower support admits more states (bigger
+  automata); higher support compresses but can drop legitimate variants.
+* **Interleaving threshold**: too small kills matchers mid-task; the
+  paper's 1 s bound sits on the plateau.
+* **PC epoch length**: epochs far larger than the inter-arrival time
+  wash out the correlation signal.
+"""
+
+import pytest
+
+from repro.core.signatures import SignatureConfig, build_application_signatures
+from repro.core.tasks import TaskDetector, TaskLibrary
+from repro.netsim.network import Network, NetworkConfig
+from repro.openflow.controller import ControllerConfig
+from repro.scenarios import three_tier_lab
+from repro.workload.traces import VMTraceSynthesizer
+
+DURATION = 30.0
+
+
+def lab_log(idle_timeout=5.0, microflow=True, proactive=False, seed=3):
+    cfg = NetworkConfig(
+        controller=ControllerConfig(
+            idle_timeout=idle_timeout, use_microflow_rules=microflow
+        )
+    )
+    scenario = three_tier_lab(seed=seed, network_config=cfg)
+    if proactive:
+        scenario.network.proactive_install_all_pairs()
+    return scenario.run(0.5, DURATION)
+
+
+def test_ablation_idle_timeout(benchmark, record_table):
+    """Soft timeout trades control-message volume against visibility.
+
+    The timeout only matters when 5-tuples recur (connection reuse): an
+    entry outliving the inter-request gap absorbs the next request
+    silently, while a shorter timeout forces a fresh PacketIn. The sweep
+    therefore drives a reuse-heavy, low-rate workload.
+    """
+    from repro.scenarios import AppPlan
+
+    plan = AppPlan(
+        "reusey",
+        (("web", ("S1",), 80), ("app", ("S3",), 8009), ("db", ("S8",), 3306)),
+        ("S22",),
+        request_rate=0.5,  # ~2 s between requests
+        reuse=0.9,
+    )
+
+    def capture(idle_timeout):
+        cfg = NetworkConfig(
+            controller=ControllerConfig(idle_timeout=idle_timeout)
+        )
+        scenario = three_tier_lab([plan], seed=3, network_config=cfg)
+        return scenario.run(0.5, 60.0, drain=2 * idle_timeout + 5.0)
+
+    def sweep():
+        return {t: capture(t) for t in (1.0, 5.0, 30.0)}
+
+    logs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["idle timeout sweep: control-plane load (reuse=0.9, 0.5 req/s)"]
+    pins = {}
+    for timeout, log in sorted(logs.items()):
+        pins[timeout] = len(log.packet_ins())
+        lines.append(
+            f"  idle={timeout:>5.1f}s: {pins[timeout]:>6} PacketIn, "
+            f"{len(log.flow_removed()):>6} FlowRemoved"
+        )
+    record_table("ablation_idle_timeout", lines)
+    # Shorter timeouts -> entries expire between requests -> more misses.
+    assert pins[1.0] > pins[5.0] > pins[30.0]
+
+
+def test_ablation_wildcard_and_proactive(benchmark, record_table):
+    """Wildcard rules shrink, proactive rules eliminate, the signal."""
+
+    def sweep():
+        return (
+            lab_log(microflow=True),
+            lab_log(microflow=False),
+            lab_log(proactive=True),
+        )
+
+    micro, wild, proactive = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sig_micro = build_application_signatures(micro, SignatureConfig())
+    sig_wild = build_application_signatures(wild, SignatureConfig())
+    sig_pro = build_application_signatures(proactive, SignatureConfig())
+
+    lines = ["deployment-mode ablation"]
+    for name, log, sigs in (
+        ("microflow", micro, sig_micro),
+        ("wildcard", wild, sig_wild),
+        ("proactive", proactive, sig_pro),
+    ):
+        edges = sum(len(s.cg.edges) for s in sigs.values())
+        lines.append(
+            f"  {name:<10} PacketIn={len(log.packet_ins()):>6} "
+            f"groups={len(sigs)} cg_edges={edges}"
+        )
+    record_table("ablation_deployment_modes", lines)
+
+    assert len(wild.packet_ins()) < len(micro.packet_ins())
+    # Wildcard visibility loss: fewer distinct observations but the CG
+    # survives (destination granularity keeps endpoints); proactive mode
+    # removes the signal entirely.
+    assert len(proactive.packet_ins()) == 0
+    assert not sig_pro  # FlowDiff is blind in proactive deployments
+    assert sig_micro  # and fully sighted in reactive ones
+
+
+def test_ablation_min_sup(benchmark, record_table):
+    synth = VMTraceSynthesizer.ec2_quartet(seed=7)
+    runs = synth.training_runs("i-3486634d", 50)
+
+    def sweep():
+        sizes = {}
+        for min_sup in (0.3, 0.6, 0.9):
+            library = TaskLibrary(service_names=synth.service_names())
+            sig = library.learn("s", runs, min_sup=min_sup, masked=True)
+            hits = sum(
+                1
+                for i in range(100, 115)
+                if any(
+                    e.name == "s"
+                    for e in library.detect(synth.startup_run("i-3486634d", i))
+                )
+            )
+            sizes[min_sup] = (sig.automaton.n_states, hits)
+        return sizes
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["min_sup ablation (states, TP/15)"]
+    for min_sup, (states, hits) in sorted(sizes.items()):
+        lines.append(f"  min_sup={min_sup}: states={states} TP={hits}/15")
+    record_table("ablation_min_sup", lines)
+    # Lower support admits more (rarer) patterns.
+    assert sizes[0.3][0] >= sizes[0.9][0]
+    # The paper's 0.6 keeps detection strong.
+    assert sizes[0.6][1] >= 10
+
+
+def test_ablation_interleave_threshold(benchmark, record_table):
+    synth = VMTraceSynthesizer.ec2_quartet(seed=7)
+    library = TaskLibrary(service_names=synth.service_names())
+    library.learn(
+        "s", synth.training_runs("i-3486634d", 50), min_sup=0.6, masked=True
+    )
+    automata = {
+        name: sig.automaton for name, sig in library.signatures.items()
+    }
+
+    def sweep():
+        out = {}
+        for threshold in (0.01, 0.2, 1.0, 5.0):
+            detector = TaskDetector(
+                automata,
+                service_names=synth.service_names(),
+                interleave_threshold=threshold,
+            )
+            hits = sum(
+                1
+                for i in range(100, 115)
+                if any(
+                    e.name == "s"
+                    for e in detector.detect(synth.startup_run("i-3486634d", i))
+                )
+            )
+            out[threshold] = hits
+        return out
+
+    hits = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["interleaving-threshold ablation (TP/15)"]
+    for threshold, h in sorted(hits.items()):
+        lines.append(f"  threshold={threshold:>5.2f}s: TP={h}/15")
+    record_table("ablation_interleave", lines)
+    # Tiny thresholds kill matchers between legitimately spaced flows;
+    # the paper's 1 s sits on the plateau.
+    assert hits[0.01] < hits[1.0]
+    assert hits[1.0] == hits[5.0]
+
+
+def test_ablation_pc_epoch(benchmark, record_table):
+    log = lab_log()
+
+    def sweep():
+        out = {}
+        for epoch in (0.25, 1.0, 10.0):
+            sigs = build_application_signatures(
+                log, SignatureConfig(epoch=epoch)
+            )
+            sig = next(iter(sigs.values()))
+            pair = (("S1", "S3"), ("S3", "S8"))
+            out[epoch] = (sig.pc.value(pair), len(sig.pc.pairs()))
+        return out
+
+    values = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["PC epoch-length ablation for S1->S3 / S3->S8"]
+    for epoch, (r, pairs) in sorted(values.items()):
+        lines.append(f"  epoch={epoch:>5.2f}s: r={r:.3f} ({pairs} pairs)")
+    record_table("ablation_pc_epoch", lines)
+    # Mid-scale epochs capture the dependency strongly.
+    assert values[1.0][0] > 0.6
+
+
+def test_ablation_hybrid_deployment(benchmark, record_table):
+    """Section VI, incremental deployment: only aggregation switches are
+    OpenFlow-enabled. Detection still works at path granularity, but
+    localization coarsens — fewer per-flow observations, fewer inferable
+    physical links."""
+    from repro import FlowDiff
+    from repro.faults import LoggingMisconfig
+    from repro.netsim.topology import lab_testbed
+    from repro.scenarios import LabScenario, three_tier_lab
+    from repro.apps.servers import ServerFarm
+    from repro.apps.multitier import MultiTierApp, TierSpec
+    from repro.apps.client import WorkloadClient
+    from repro.workload.arrivals import PoissonProcess
+    import random as _random
+
+    def build(hybrid, fault=False):
+        topo = lab_testbed(hybrid=hybrid)
+        net = Network(topo)
+        farm = ServerFarm()
+        farm.set_delay("S3", 0.06, 0.005)
+        farm.set_delay("S1", 0.01, 0.001)
+        farm.set_delay("S8", 0.005, 0.001)
+        app = MultiTierApp(
+            "hyb",
+            [
+                TierSpec("web", ("S1",), 80),
+                TierSpec("app", ("S3",), 8009),
+                TierSpec("db", ("S8",), 3306),
+            ],
+            net,
+            farm,
+            seed=5,
+        )
+        client = WorkloadClient("S22", app, PoissonProcess(10.0, _random.Random(3)))
+        if fault:
+            LoggingMisconfig("S3", 0.05).inject_at(net, 0.0, farm)
+        client.run(0.5, DURATION)
+        net.sim.run(until=DURATION + 15.0)
+        return net.log
+
+    def run():
+        out = {}
+        fd = FlowDiff()
+        for hybrid in (False, True):
+            base = build(hybrid)
+            faulty = build(hybrid, fault=True)
+            model = fd.model(base)
+            report = fd.diff(model, fd.model(faulty))
+            out[hybrid] = (
+                len(base.packet_ins()),
+                len(model.infrastructure.pt.switch_links),
+                [k.value for k in report.changed_kinds()],
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["hybrid-deployment ablation (only aggregation switches OpenFlow)"]
+    for hybrid, (pins, links, kinds) in sorted(results.items()):
+        mode = "hybrid" if hybrid else "full"
+        lines.append(
+            f"  {mode:<7} PacketIn={pins:>6} inferred_switch_links={links} "
+            f"detected={kinds}"
+        )
+    record_table("ablation_hybrid_deployment", lines)
+    full_pins, full_links, full_kinds = results[False]
+    hyb_pins, hyb_links, hyb_kinds = results[True]
+    # Less control traffic and a coarser inferred topology...
+    assert hyb_pins < full_pins
+    assert hyb_links < full_links
+    # ...but the DD-based problem detection still fires at path granularity.
+    assert "DD" in hyb_kinds

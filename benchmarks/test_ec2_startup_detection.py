@@ -1,0 +1,73 @@
+"""Section V-A, "in the wild": detecting VM startup from single-VM traces.
+
+The paper's first effectiveness result: with tcpdump inserted into the
+boot sequence of four EC2 VMs, FlowDiff's task signatures "successfully
+detect a startup event using the generated task automata" for all four —
+even though only the single VM's vantage point is available.
+
+We reproduce this end to end and additionally embed the startup in
+background noise (an in-the-wild capture is never clean) to show detection
+still works and reports a sensible event span.
+"""
+
+import pytest
+
+from repro.core.tasks import TaskLibrary
+from repro.workload.traces import TraceConfig, VMTraceSynthesizer
+
+
+def test_ec2_startup_detected_for_all_vms(benchmark, record_table):
+    synth = VMTraceSynthesizer.ec2_quartet(seed=7)
+
+    def run():
+        results = {}
+        for vm in sorted(synth.vms):
+            library = TaskLibrary(service_names=synth.service_names())
+            library.learn(
+                "vm_startup", synth.training_runs(vm, 50), min_sup=0.6, masked=True
+            )
+            hits = 0
+            spans = []
+            for i in range(200, 210):
+                events = library.detect(synth.startup_run(vm, i))
+                startup = [e for e in events if e.name == "vm_startup"]
+                if startup:
+                    hits += 1
+                    spans.append(startup[0].t_end - startup[0].t_start)
+            results[vm] = (hits, spans)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["EC2-style startup detection (10 fresh boots per VM)"]
+    for vm, (hits, spans) in sorted(results.items()):
+        mean_span = sum(spans) / len(spans) if spans else 0.0
+        lines.append(f"  {vm}: detected {hits}/10, mean event span {mean_span:.2f}s")
+    record_table("ec2_startup_detection", lines)
+    for vm, (hits, _) in results.items():
+        assert hits >= 6, f"{vm}: startup detection too weak ({hits}/10)"
+
+
+def test_ec2_startup_detected_in_noise(benchmark, record_table):
+    clean = VMTraceSynthesizer.ec2_quartet(seed=7)
+    noisy = VMTraceSynthesizer.ec2_quartet(
+        seed=7, config=TraceConfig(noise_rate=10.0)
+    )
+    vm = "i-3486634d"
+
+    def run():
+        library = TaskLibrary(service_names=clean.service_names())
+        library.learn(
+            "vm_startup", clean.training_runs(vm, 50), min_sup=0.6, masked=True
+        )
+        hits = 0
+        for i in range(300, 312):
+            events = library.detect(noisy.startup_run(vm, i))
+            hits += any(e.name == "vm_startup" for e in events)
+        return hits
+
+    hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "ec2_startup_in_noise",
+        [f"startup detection under 10 flows/s background noise: {hits}/12"],
+    )
+    assert hits >= 6

@@ -1,0 +1,114 @@
+"""Figure 11: partial-correlation stability.
+
+(a) The PC between dependent flows S13-S4 and S4-S14 of the RuBiS group
+    stays high and stable across Table II's cases 1-4.
+(b) For case 5 under varying workloads and connection reuse, the PC between
+    S2-S3 and S3-S8 stays relatively stable across 10 log intervals.
+"""
+
+import pytest
+
+from repro.analysis.timeseries import split_intervals
+from repro.core.signatures import SignatureConfig, build_application_signatures
+from repro.scenarios import AppPlan, table2_case, three_tier_lab
+
+DURATION = 45.0
+RUBIS_PAIR = (("S13", "S4"), ("S4", "S14"))
+CASE5_PAIR = (("S2", "S3"), ("S3", "S8"))
+
+
+def rubis_pc(case, seed=3):
+    """PC between web->app and app->db edges of the RuBiS-style group."""
+    scenario = table2_case(case, seed=seed)
+    log = scenario.run(0.5, DURATION)
+    sigs = build_application_signatures(log, SignatureConfig())
+    for sig in sigs.values():
+        # Cases 2-4 place RuBiS's web on S12; case 1 on S13. Accept both.
+        for pair, value in sig.pc.correlations:
+            (a, n1), (n2, b) = pair
+            if n1 == "S4" and b in ("S14", "S15"):
+                return value
+    return None
+
+
+def test_fig11a_pc_across_cases(benchmark, record_table):
+    def sweep():
+        return {case: rubis_pc(case) for case in (1, 2, 3, 4)}
+
+    values = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Fig 11(a): PC of web->S4 / S4->db across cases 1-4"]
+    for case, value in sorted(values.items()):
+        lines.append(f"  case {case}: r = {value:.3f}")
+    record_table("fig11a_pc_cases", lines)
+    usable = [v for v in values.values() if v is not None]
+    assert len(usable) == 4
+    # Stable and strongly positive across cases.
+    assert all(v > 0.7 for v in usable)
+    assert max(usable) - min(usable) < 0.3
+
+
+def test_fig11b_pc_across_intervals_with_reuse(benchmark, record_table):
+    # Reuse applies at the app server's database connections (tier index
+    # 1 -> 2), per the paper's R(m, n) definition.
+    settings = [
+        ("P(8,8) R(0,0)", 8.0, 8.0, 0.0),
+        ("P(8,3) R(0,20)", 8.0, 3.0, 0.2),
+        ("P(3,8) R(50,50)", 3.0, 8.0, 0.5),
+        ("P(3,8) R(90,10)", 3.0, 8.0, 0.9),
+    ]
+
+    def one_setting(rate1, rate2, reuse):
+        plans = (
+            AppPlan(
+                "custom-a",
+                (("web", ("S1",), 80), ("app", ("S3",), 8009), ("db", ("S8",), 3306)),
+                ("S22",),
+                request_rate=rate1,
+                reuse=(0.0, reuse, 0.0),
+            ),
+            AppPlan(
+                "custom-b",
+                (("web", ("S2",), 80), ("app", ("S3",), 8009), ("db", ("S8",), 3306)),
+                ("S21",),
+                request_rate=rate2,
+                reuse=(0.0, reuse, 0.0),
+            ),
+        )
+        scenario = three_tier_lab(plans, seed=3)
+        log = scenario.run(0.5, DURATION)
+        t0, t1 = log.time_span
+        series = []
+        for a, b in split_intervals(t0, t1, 10):
+            sigs = build_application_signatures(
+                log.window(a, b), SignatureConfig(epoch=0.25), window=(a, b)
+            )
+            for sig in sigs.values():
+                value = sig.pc.value(CASE5_PAIR)
+                if CASE5_PAIR in sig.pc.pairs():
+                    series.append(value)
+        return series
+
+    def sweep():
+        return {
+            label: one_setting(r1, r2, reuse)
+            for label, r1, r2, reuse in settings
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Fig 11(b): PC of S2->S3 / S3->S8 across 10 intervals"]
+    failures = []
+    for label, series in results.items():
+        shown = " ".join(f"{v:.2f}" for v in series)
+        lines.append(f"  {label:<18} {shown}")
+        if len(series) < 5:
+            failures.append(f"{label}: only {len(series)} usable intervals")
+            continue
+        mean = sum(series) / len(series)
+        # The dependency must remain visible in every setting; connection
+        # reuse thins the downstream flow counts, so the bar is lower for
+        # the reuse-heavy settings (matching Fig 11(b)'s wider spread).
+        floor = 0.4 if label.endswith("R(0,0)") else 0.15
+        if mean < floor:
+            failures.append(f"{label}: mean PC {mean:.2f} below {floor}")
+    record_table("fig11b_pc_intervals", lines)
+    assert not failures, "\n".join(failures)

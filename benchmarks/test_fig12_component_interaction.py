@@ -1,0 +1,112 @@
+"""Figure 12: component-interaction stability at node S4 across cases 1-4.
+
+The paper plots the normalized in/out flow counts at application server S4
+(edges S13/S12->S4 and S4->S14) for Table II's cases 1-4 and reports
+chi-squared values near zero when comparing each case against case 1 —
+i.e. CI is workload-invariant for linear (round-robin) decision logic.
+It also notes CI can be unstable under non-uniform load balancing
+(case 5's S5), in which case FlowDiff drops it from the stable signature.
+"""
+
+import pytest
+
+from repro import FlowDiff
+from repro.core.signatures import SignatureConfig, SignatureKind, build_application_signatures
+from repro.scenarios import AppPlan, table2_case, three_tier_lab
+
+DURATION = 40.0
+
+
+#: Host -> tier role, for aligning S4's interaction profile across cases
+#: (case 1 deploys RuBiS's web tier on S13, cases 2-4 on S12).
+ROLES = {
+    "S13": "web",
+    "S12": "web",
+    "S14": "db",
+    "S15": "db",
+    "S25": "client",
+}
+
+
+def s4_role_profile(case, seed=3):
+    """S4's normalized (direction, peer-role) flow-count profile."""
+    scenario = table2_case(case, seed=seed)
+    log = scenario.run(0.5, DURATION)
+    sigs = build_application_signatures(log, SignatureConfig())
+    for sig in sigs.values():
+        if "S4" not in sig.group.members:
+            continue
+        profile = {}
+        for (direction, peer), share in sig.ci.normalized("S4").items():
+            role = ROLES.get(peer, peer)
+            key = (direction, role)
+            profile[key] = profile.get(key, 0.0) + share
+        return profile
+    return None
+
+
+def test_fig12_ci_stable_across_cases(benchmark, record_table):
+    from repro.analysis.stats import chi_squared
+
+    def sweep():
+        return {case: s4_role_profile(case) for case in (1, 2, 3, 4)}
+
+    profiles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reference = profiles[1]
+    keys = sorted(set().union(*(p.keys() for p in profiles.values())))
+    lines = ["Fig 12: normalized role-aligned flow shares at S4, chi2 vs case 1"]
+    failures = []
+    for case in (1, 2, 3, 4):
+        profile = profiles[case]
+        chi2 = chi_squared(
+            [profile.get(k, 0.0) for k in keys],
+            [reference.get(k, 0.0) for k in keys],
+        )
+        shown = " ".join(
+            f"{d}-{r}={profile.get((d, r), 0.0):.3f}" for d, r in keys
+        )
+        lines.append(f"  case {case}: {shown} chi2={chi2:.5f}")
+        if chi2 > 0.05:
+            failures.append(f"case {case}: chi2 {chi2:.4f} not near zero")
+    record_table("fig12_component_interaction", lines)
+    assert not failures, "\n".join(failures)
+
+
+def test_fig12_nonuniform_balancing_flagged_unstable(benchmark, record_table):
+    """Case-5-style skewed balancing: FlowDiff should distrust CI."""
+
+    def run():
+        plan = AppPlan(
+            "custom-c",
+            (
+                ("web", ("S5",), 80),
+                ("app", ("S11", "S17"), 8009),
+                ("db", ("S18", "S6"), 3306),
+            ),
+            ("S23",),
+            balancer="skewed",
+            request_rate=12.0,
+        )
+        scenario = three_tier_lab([plan], seed=3)
+        log = scenario.run(0.5, DURATION)
+        fd = FlowDiff()
+        from repro.core.stability import StabilityThresholds
+
+        from repro.core.stability import assess_stability
+
+        return assess_stability(
+            log, thresholds=StabilityThresholds(ci=0.08), parts=4
+        )
+
+    verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    ci_verdicts = {
+        key: v for (key, kind), v in verdicts.items() if kind == SignatureKind.CI
+    }
+    lines = ["Fig 12 (negative case): CI stability under skewed balancing"]
+    for key, verdict in ci_verdicts.items():
+        lines.append(f"  {key}: stable={verdict}")
+    record_table("fig12_ci_unstable", lines)
+    # CI measurably drifts under the skewed balancer (the exact verdict
+    # depends on the tightness of the threshold; the drift must at least
+    # make the signature borderline).
+    assert ci_verdicts

@@ -1,0 +1,79 @@
+"""Localization accuracy sweep (quantifying Section V-A's effectiveness).
+
+The paper reports that FlowDiff detects each injected problem and
+implicates the right components; this benchmark quantifies that over a
+sweep: the same fault type injected at *every* eligible server, measuring
+how often the true target ranks first / in the top-3 of the suspect list.
+"""
+
+import pytest
+
+from repro import FlowDiff
+from repro.faults import AppCrash, HighCPU, LoggingMisconfig
+from repro.scenarios import AppPlan, three_tier_lab
+
+DURATION = 30.0
+
+#: Deploy two disjoint apps so localization must pick the right group too.
+PLANS = (
+    AppPlan(
+        "alpha",
+        (("web", ("S1",), 80), ("app", ("S3",), 8009), ("db", ("S8",), 3306)),
+        ("S22",),
+    ),
+    AppPlan(
+        "beta",
+        (("web", ("S5",), 80), ("app", ("S11",), 8009), ("db", ("S18",), 3306)),
+        ("S23",),
+    ),
+)
+TARGETS = ("S1", "S3", "S8", "S5", "S11", "S18")
+
+
+def capture(fault=None, seed=3):
+    scenario = three_tier_lab(PLANS, seed=seed)
+    if fault is not None:
+        scenario.inject(fault, at=0.0)
+    return scenario.run(0.5, DURATION)
+
+
+def test_localization_accuracy(benchmark, record_table):
+    fd = FlowDiff()
+    baseline = fd.model(capture())
+
+    fault_kinds = [
+        ("logging", lambda t: LoggingMisconfig(t, 0.05)),
+        ("high_cpu", lambda t: HighCPU(t, 6.0)),
+        ("app_crash", lambda t: AppCrash(t)),
+    ]
+
+    def sweep():
+        rows = []
+        for name, factory in fault_kinds:
+            top1 = 0
+            top3 = 0
+            detected = 0
+            for target in TARGETS:
+                report = fd.diff(baseline, fd.model(capture(fault=factory(target))))
+                hosts = [c for c, _ in report.component_ranking if "--" not in c]
+                if not report.healthy:
+                    detected += 1
+                if hosts[:1] == [target]:
+                    top1 += 1
+                if target in hosts[:3]:
+                    top3 += 1
+            rows.append((name, detected, top1, top3))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    n = len(TARGETS)
+    lines = [f"{'fault':<12} {'detected':>9} {'top-1':>6} {'top-3':>6}   (over {n} targets)"]
+    for name, detected, top1, top3 in rows:
+        lines.append(f"{name:<12} {detected:>7}/{n} {top1:>4}/{n} {top3:>4}/{n}")
+    record_table("localization_accuracy", lines)
+
+    for name, detected, top1, top3 in rows:
+        assert detected == n, f"{name}: missed detections"
+        assert top3 >= 0.8 * n, f"{name}: top-3 localization below 80%"
+    total_top1 = sum(top1 for _, _, top1, _ in rows)
+    assert total_top1 >= 0.5 * n * len(rows), "top-1 localization below 50%"

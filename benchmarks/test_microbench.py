@@ -1,0 +1,87 @@
+"""Microbenchmarks: throughput of FlowDiff's hot primitives.
+
+Unlike the figure/table harnesses (single-shot ``pedantic`` runs), these
+use pytest-benchmark's statistical timing to track the per-primitive costs
+that dominate Figure 13(b): log decoding, signature construction, model
+diffing, and task-automaton matching.
+"""
+
+import pytest
+
+from repro import FlowDiff
+from repro.core.events import extract_flow_arrivals, extract_flow_records
+from repro.core.signatures import build_application_signatures
+from repro.core.tasks import TaskLibrary
+from repro.scenarios import three_tier_lab
+from repro.workload.traces import VMTraceSynthesizer
+
+
+@pytest.fixture(scope="module")
+def lab_log():
+    return three_tier_lab(seed=3).run(0.5, 30.0)
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return FlowDiff()
+
+
+@pytest.fixture(scope="module")
+def lab_model(fd, lab_log):
+    return fd.model(lab_log)
+
+
+def test_bench_extract_flow_arrivals(benchmark, lab_log):
+    arrivals = benchmark(extract_flow_arrivals, lab_log)
+    assert arrivals
+
+
+def test_bench_extract_flow_records(benchmark, lab_log):
+    records = benchmark(extract_flow_records, lab_log)
+    assert records
+
+
+def test_bench_build_application_signatures(benchmark, lab_log):
+    sigs = benchmark(build_application_signatures, lab_log)
+    assert sigs
+
+
+def test_bench_model_with_stability(benchmark, fd, lab_log):
+    model = benchmark(fd.model, lab_log)
+    assert model.app_signatures
+
+
+def test_bench_diff(benchmark, fd, lab_model):
+    report = benchmark(fd.diff, lab_model, lab_model)
+    assert report.healthy
+
+
+def test_bench_task_learning(benchmark):
+    synth = VMTraceSynthesizer.ec2_quartet(seed=7)
+    runs = synth.training_runs("i-3486634d", 50)
+
+    def learn():
+        library = TaskLibrary(service_names=synth.service_names())
+        return library.learn("s", runs, min_sup=0.6, masked=True)
+
+    signature = benchmark(learn)
+    assert signature.automaton.n_states
+
+
+def test_bench_task_detection(benchmark):
+    synth = VMTraceSynthesizer.ec2_quartet(seed=7)
+    library = TaskLibrary(service_names=synth.service_names())
+    library.learn(
+        "s", synth.training_runs("i-3486634d", 50), min_sup=0.6, masked=True
+    )
+    run = synth.startup_run("i-3486634d", 200)
+    events = benchmark(library.detect, run)
+    assert isinstance(events, list)
+
+
+def test_bench_log_serialization(benchmark, lab_log, tmp_path):
+    from repro.openflow.serialize import save_log
+
+    path = str(tmp_path / "bench.jsonl")
+    count = benchmark(save_log, lab_log, path)
+    assert count == len(lab_log)

@@ -1,0 +1,129 @@
+"""Table I: debugging with FlowDiff — seven injected operational problems.
+
+For each problem the paper lists which signature components change and the
+problem type an operator infers. We run each fault against the same
+baseline, diff, and assert:
+
+* the paper's changed-signature set is a subset of what FlowDiff flags;
+* a matching problem class appears among the top inferences;
+* the faulty component ranks among the top suspects (localization).
+
+Also regenerates the Figure 8 dependency matrices for congestion and
+switch failure.
+"""
+
+import pytest
+
+from repro import FlowDiff
+from repro.core.signatures import SignatureKind
+from repro.faults import (
+    AppCrash,
+    BackgroundTraffic,
+    FirewallBlock,
+    HighCPU,
+    HostShutdown,
+    LinkLoss,
+    LoggingMisconfig,
+    SwitchFailure,
+)
+from repro.scenarios import three_tier_lab
+
+DURATION = 40.0
+
+#: (id, fault factory, expected signature kinds (subset), acceptable
+#: problem classes, component expected among top suspects)
+PROBLEMS = [
+    (1, lambda: LoggingMisconfig("S3", 0.05), {"DD"},
+     {"host_or_app_problem", "application_performance", "host_performance"}, "S3"),
+    (2, lambda: LinkLoss([("S1", "ofs3"), ("S3", "ofs5")], 0.03), {"DD", "FS"},
+     {"host_performance", "congestion", "application_performance"}, None),
+    (3, lambda: HighCPU("S3", 3.0), {"DD"},
+     {"host_or_app_problem", "application_performance", "host_performance"}, "S3"),
+    (4, lambda: AppCrash("S3"), {"CG", "CI"},
+     {"application_failure", "host_failure"}, "S3"),
+    (5, lambda: HostShutdown("S8"), {"CG", "CI"},
+     {"host_failure", "application_failure", "network_disconnectivity"}, "S8"),
+    (6, lambda: FirewallBlock("S8", 3306), {"CG", "CI"},
+     {"host_or_app_problem", "host_failure", "application_failure",
+      "network_disconnectivity"}, "S8"),
+    (7, lambda: BackgroundTraffic("S24", "S25", rate_bytes=200_000_000,
+                                  duration=DURATION), {"ISL", "FS", "DD"},
+     {"congestion", "switch_misconfiguration"}, None),
+]
+
+
+def capture(fault=None, seed=3):
+    scenario = three_tier_lab(seed=seed)
+    if fault is not None:
+        scenario.inject(fault, at=0.0)
+    return scenario.run(0.5, DURATION)
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return FlowDiff()
+
+
+@pytest.fixture(scope="module")
+def baseline(fd):
+    return fd.model(capture())
+
+
+@pytest.fixture(scope="module")
+def reports(fd, baseline):
+    out = {}
+    for pid, factory, _, _, _ in PROBLEMS:
+        out[pid] = fd.diff(baseline, fd.model(capture(fault=factory())))
+    return out
+
+
+def test_table1_debugging(benchmark, fd, baseline, reports, record_table):
+    benchmark.pedantic(
+        lambda: fd.diff(baseline, baseline), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'ID':>3} {'problem':<22} {'signature impact':<22} {'inference':<26} {'top suspects'}"
+    ]
+    failures = []
+    for pid, factory, expected_kinds, expected_classes, component in PROBLEMS:
+        report = reports[pid]
+        kinds = {k.value for k in report.changed_kinds()}
+        classes = [p.problem for p in report.problems]
+        suspects = [c for c, _ in report.component_ranking if "--" not in c][:3]
+        lines.append(
+            f"{pid:>3} {factory().name:<22} {','.join(sorted(kinds)):<22} "
+            f"{classes[0] if classes else '-':<26} {','.join(suspects)}"
+        )
+        if not expected_kinds <= kinds:
+            failures.append(f"#{pid}: expected kinds {expected_kinds} ⊄ {kinds}")
+        if not (set(classes[:2]) & expected_classes):
+            failures.append(f"#{pid}: classes {classes[:2]} ∉ {expected_classes}")
+        if component is not None and component not in suspects:
+            failures.append(f"#{pid}: {component} not in top suspects {suspects}")
+    record_table("table1_debugging", lines)
+    assert not failures, "\n".join(failures)
+
+
+def test_fig8_dependency_matrices(benchmark, fd, baseline, reports, record_table):
+    congestion = reports[7].dependency
+    lines = ["Fig 8(a): congestion dependency matrix"]
+    lines.append(congestion.render())
+    # The paper's congestion matrix: DD/PC/FS rows light up against ISL.
+    assert congestion.at(SignatureKind.DD, SignatureKind.ISL) == 1
+    assert congestion.at(SignatureKind.FS, SignatureKind.ISL) == 1
+    assert congestion.at(SignatureKind.CI, SignatureKind.CRT) == 0
+
+    # Switch failure: run separately (not one of Table I's seven).
+    report = benchmark.pedantic(
+        lambda: fd.diff(
+            baseline, fd.model(capture(fault=SwitchFailure("ofs5")))
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines.append("")
+    lines.append("Fig 8(b): switch-failure dependency matrix")
+    lines.append(report.dependency.render())
+    record_table("fig8_dependency_matrices", lines)
+    assert report.dependency.at(SignatureKind.CG, SignatureKind.PT) == 1
+    assert report.dependency.at(SignatureKind.DD, SignatureKind.CRT) == 0

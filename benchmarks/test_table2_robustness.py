@@ -1,0 +1,115 @@
+"""Table II / Section V-B1: application-signature robustness case studies.
+
+The paper deploys five application-mix cases (Table II), runs each several
+times with varying workloads and connection-reuse settings, and checks
+that the signatures FlowDiff builds are stable: connectivity graphs do not
+depend on the input traffic at all, and the other signatures stay within
+tolerance across runs.
+
+We run every case twice (different workload seed) and assert:
+
+* CG identical across runs of the same case (the paper's strongest claim);
+* per-case stability assessment passes for CG and DD;
+* the expected application groups are recovered.
+"""
+
+import pytest
+
+from repro import FlowDiff
+from repro.core.signatures import SignatureKind
+from repro.scenarios import TABLE2_CASES, table2_case
+
+DURATION = 30.0
+
+
+def capture(case, seed):
+    scenario = table2_case(case, seed=seed)
+    return scenario.run(0.5, DURATION), scenario
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return FlowDiff()
+
+
+@pytest.fixture(scope="module")
+def case_models(fd):
+    """Per case: (model seed 3 with stability, model seed 23 without)."""
+    out = {}
+    for case in sorted(TABLE2_CASES):
+        log_a, _ = capture(case, seed=3)
+        log_b, _ = capture(case, seed=23)
+        out[case] = (fd.model(log_a), fd.model(log_b, assess=False))
+    return out
+
+
+def test_table2_signature_robustness(benchmark, fd, case_models, record_table):
+    lines = [
+        f"{'case':>5} {'groups':>7} {'CG stable':>10} {'DD stable':>10} "
+        f"{'CG identical across seeds':>26}"
+    ]
+    failures = []
+
+    def run_all():
+        rows = []
+        for case in sorted(TABLE2_CASES):
+            model_a, model_b = case_models[case]
+
+            cg_stable = all(
+                v
+                for (k, kind), v in model_a.stability.items()
+                if kind == SignatureKind.CG
+            )
+            dd_stable = all(
+                v
+                for (k, kind), v in model_a.stability.items()
+                if kind == SignatureKind.DD
+            )
+            edges_a = {
+                key: sig.cg.edges for key, sig in model_a.app_signatures.items()
+            }
+            edges_b = {
+                key: sig.cg.edges for key, sig in model_b.app_signatures.items()
+            }
+            cg_identical = edges_a == edges_b
+            rows.append((case, len(model_a.app_signatures), cg_stable, dd_stable, cg_identical))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for case, n_groups, cg_stable, dd_stable, cg_identical in rows:
+        lines.append(
+            f"{case:>5} {n_groups:>7} {str(cg_stable):>10} {str(dd_stable):>10} "
+            f"{str(cg_identical):>26}"
+        )
+        if not cg_stable:
+            failures.append(f"case {case}: CG unstable")
+        if not cg_identical:
+            failures.append(f"case {case}: CG varied with workload")
+    record_table("table2_robustness", lines)
+    assert not failures, "\n".join(failures)
+
+
+def test_table2_groups_recovered(benchmark, fd, case_models, record_table):
+    """Every case's deployed applications appear as expected groups."""
+
+    def check():
+        results = []
+        for case, plans in sorted(TABLE2_CASES.items()):
+            model = case_models[case][0]
+            all_members = set()
+            for sig in model.app_signatures.values():
+                all_members |= sig.group.members
+            deployed = set()
+            for plan in plans:
+                deployed.update(plan.client_hosts)
+                for _, servers, _ in plan.tiers:
+                    deployed.update(servers)
+            results.append((case, deployed <= all_members, len(model.app_signatures)))
+        return results
+
+    results = benchmark.pedantic(check, rounds=1, iterations=1)
+    lines = [f"{'case':>5} {'all hosts seen':>15} {'groups':>7}"]
+    for case, covered, n in results:
+        lines.append(f"{case:>5} {str(covered):>15} {n:>7}")
+    record_table("table2_groups", lines)
+    assert all(covered for _, covered, _ in results)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Counterfactual replay: re-run yesterday's traffic under tomorrow's fault.
+
+Capture once, experiment many times: a controller log fixes the
+application-level flow arrivals, so the same traffic can be replayed
+through fresh simulated networks with different conditions —
+
+* a *clean* replay validates fidelity (same connectivity graph);
+* a *lossy* replay answers "what would these flows' counters have looked
+  like if that link were dropping 10% of packets?";
+* a *double-speed* replay stresses the controller with the same traffic
+  mix at twice the arrival rate.
+
+Run:  python examples/counterfactual_replay.py
+"""
+
+from repro.core.signatures import build_application_signatures
+from repro.netsim.network import Network
+from repro.netsim.topology import lab_testbed
+from repro.scenarios import three_tier_lab
+from repro.workload.replay import replay_log
+
+
+def replay(source_log, loss=0.0, time_scale=1.0):
+    net = Network(lab_testbed())
+    if loss:
+        net.set_link_loss("S1", "ofs3", loss)
+        net.set_link_loss("S3", "ofs5", loss)
+    stats = replay_log(source_log, net, time_scale=time_scale)
+    net.sim.run(until=120.0)
+    return net.log, stats
+
+
+def main():
+    print("capturing 20 s of three-tier traffic...")
+    source_log = three_tier_lab(seed=3).run(0.5, 20.0)
+    source_sigs = build_application_signatures(source_log)
+    source_edges = {e for s in source_sigs.values() for e in s.cg.edges}
+
+    print("replaying clean...")
+    clean_log, stats = replay(source_log)
+    print(f"  {stats.flows} flows replayed ({stats.with_counters} with observed counters)")
+    clean_sigs = build_application_signatures(clean_log)
+    clean_edges = {e for s in clean_sigs.values() for e in s.cg.edges}
+    assert clean_edges == source_edges, "replay must reproduce the CG"
+    clean_mean = next(iter(clean_sigs.values())).fs.byte_mean
+
+    print("replaying with 10% loss on the web/app access links...")
+    lossy_log, _ = replay(source_log, loss=0.1)
+    lossy_mean = next(
+        iter(build_application_signatures(lossy_log).values())
+    ).fs.byte_mean
+    inflation = (lossy_mean / clean_mean - 1) * 100
+    print(f"  per-flow byte mean: {clean_mean:.0f} -> {lossy_mean:.0f} "
+          f"(+{inflation:.1f}% retransmission overhead)")
+    assert lossy_mean > clean_mean
+
+    print("replaying at double speed...")
+    fast_log, _ = replay(source_log, time_scale=0.5)
+    clean_span = clean_log.time_span[1] - clean_log.time_span[0]
+    fast_span = fast_log.time_span[1] - fast_log.time_span[0]
+    print(f"  capture span {clean_span:.1f}s -> {fast_span:.1f}s; "
+          f"same {len(fast_log.packet_ins())} PacketIns in half the time")
+    assert fast_span < clean_span
+
+    print("\nOK: one capture, three experiments — fidelity, counterfactual "
+          "loss, and load scaling.")
+
+
+if __name__ == "__main__":
+    main()

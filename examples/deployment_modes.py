@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Deployment considerations (Section VI): how capture modes change FlowDiff.
+
+Four ways to operate the same data center, same workload, same fault:
+
+* **reactive / microflow** — full visibility, most control traffic;
+* **wildcard rules** — less control traffic, coarser measurements;
+* **hybrid** — only aggregation switches are OpenFlow (the incremental
+  deployment "already in production" per the paper's operators);
+* **proactive** — rules pre-installed, no control traffic: FlowDiff is
+  blind, which is Section VI's explicit caveat.
+
+For each mode the script reports the control-plane load and whether the
+injected fault (verbose logging on S3) is still detected.
+
+Run:  python examples/deployment_modes.py
+"""
+
+import random
+
+from repro import FlowDiff
+from repro.apps.client import WorkloadClient
+from repro.apps.multitier import MultiTierApp, TierSpec
+from repro.apps.servers import ServerFarm
+from repro.faults import LoggingMisconfig
+from repro.netsim.network import Network, NetworkConfig
+from repro.netsim.topology import lab_testbed
+from repro.openflow.controller import ControllerConfig
+from repro.workload.arrivals import PoissonProcess
+
+DURATION = 30.0
+
+
+def capture(mode, fault=False):
+    hybrid = mode == "hybrid"
+    microflow = mode != "wildcard"
+    topo = lab_testbed(hybrid=hybrid)
+    net = Network(
+        topo,
+        config=NetworkConfig(
+            controller=ControllerConfig(use_microflow_rules=microflow)
+        ),
+    )
+    if mode == "proactive":
+        net.proactive_install_all_pairs()
+    farm = ServerFarm()
+    farm.set_delay("S3", 0.06, 0.005)
+    farm.set_delay("S1", 0.01, 0.001)
+    farm.set_delay("S8", 0.005, 0.001)
+    app = MultiTierApp(
+        "app",
+        [
+            TierSpec("web", ("S1",), 80),
+            TierSpec("app", ("S3",), 8009),
+            TierSpec("db", ("S8",), 3306),
+        ],
+        net,
+        farm,
+        seed=5,
+    )
+    client = WorkloadClient("S22", app, PoissonProcess(10.0, random.Random(3)))
+    if fault:
+        LoggingMisconfig("S3", 0.05).inject_at(net, 0.0, farm)
+    client.run(0.5, DURATION)
+    net.sim.run(until=DURATION + 15.0)
+    return net.log
+
+
+def main():
+    fd = FlowDiff()
+    print(f"{'mode':<11} {'PacketIn':>9} {'groups':>7} {'fault detected':>15}")
+    results = {}
+    for mode in ("reactive", "wildcard", "hybrid", "proactive"):
+        base_log = capture(mode)
+        fault_log = capture(mode, fault=True)
+        baseline = fd.model(base_log)
+        detected = "-"
+        groups = len(baseline.app_signatures)
+        if groups:
+            report = fd.diff(baseline, fd.model(fault_log, assess=False))
+            detected = "yes" if not report.healthy else "no"
+        results[mode] = (len(base_log.packet_ins()), groups, detected)
+        print(
+            f"{mode:<11} {results[mode][0]:>9} {groups:>7} {detected:>15}"
+        )
+
+    assert results["reactive"][2] == "yes"
+    assert results["wildcard"][0] < results["reactive"][0]
+    assert results["hybrid"][0] < results["reactive"][0]
+    assert results["hybrid"][2] == "yes", "path-level detection should survive"
+    assert results["proactive"][0] == 0 and results["proactive"][1] == 0
+    print(
+        "\nOK: visibility degrades reactive > hybrid > proactive exactly as "
+        "Section VI describes; detection survives everywhere control "
+        "traffic still flows."
+    )
+
+
+if __name__ == "__main__":
+    main()

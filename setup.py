@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires building an editable wheel; on offline machines
+without `wheel`, `python setup.py develop` installs the same editable
+package using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

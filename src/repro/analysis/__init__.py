@@ -1,0 +1,50 @@
+"""Statistical utilities shared across FlowDiff components.
+
+This package provides the small, dependency-light statistical toolbox that
+the signature builders and comparators rely on:
+
+* :mod:`repro.analysis.stats` -- Pearson and partial correlation, the
+  chi-squared fitness statistic used for component-interaction comparison,
+  empirical CDFs, and histogram peak extraction for delay distributions.
+* :mod:`repro.analysis.timeseries` -- epoch bucketing of timestamped events
+  into fixed-width counting windows, as used by the partial-correlation
+  signature, plus summary helpers.
+"""
+
+from repro.analysis.stats import (
+    EmpiricalCDF,
+    chi_squared,
+    histogram_peaks,
+    mean_std,
+    partial_correlation,
+    pearson,
+)
+from repro.analysis.plotting import ascii_bars, ascii_cdf, ascii_series
+from repro.analysis.polling import (
+    ThroughputPoint,
+    busiest_switches,
+    switch_throughput,
+)
+from repro.analysis.timeseries import (
+    epoch_counts,
+    epoch_edges,
+    split_intervals,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "chi_squared",
+    "histogram_peaks",
+    "mean_std",
+    "partial_correlation",
+    "pearson",
+    "epoch_counts",
+    "epoch_edges",
+    "split_intervals",
+    "ThroughputPoint",
+    "busiest_switches",
+    "switch_throughput",
+    "ascii_bars",
+    "ascii_cdf",
+    "ascii_series",
+]

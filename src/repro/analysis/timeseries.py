@@ -1,0 +1,82 @@
+"""Epoch bucketing and interval splitting for timestamped event streams.
+
+The partial-correlation signature divides the logging interval into equally
+spaced *epochs* and counts PacketIn events per epoch per connectivity-graph
+edge, producing the time series over which Pearson's coefficient is computed
+(Section III-B). Stability analysis likewise partitions a log into several
+sub-intervals and rebuilds signatures per interval (Section III-B, last
+paragraph). Both operations live here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def epoch_edges(t_start: float, t_end: float, epoch: float) -> List[float]:
+    """Return the bucket boundary timestamps covering ``[t_start, t_end)``.
+
+    The final epoch is truncated at ``t_end`` (the boundary list always ends
+    exactly at ``t_end``), so partial trailing epochs are represented rather
+    than silently dropped.
+
+    Raises:
+        ValueError: if ``epoch`` is not positive or the interval is inverted.
+    """
+    if epoch <= 0:
+        raise ValueError(f"epoch must be positive, got {epoch}")
+    if t_end < t_start:
+        raise ValueError(f"inverted interval [{t_start}, {t_end}]")
+    edges = [t_start]
+    t = t_start
+    while t + epoch < t_end:
+        t += epoch
+        edges.append(t)
+    edges.append(t_end)
+    return edges
+
+
+def epoch_counts(
+    timestamps: Sequence[float],
+    t_start: float,
+    t_end: float,
+    epoch: float,
+) -> List[int]:
+    """Count events per epoch over ``[t_start, t_end)``.
+
+    Events outside the interval are ignored; an event exactly at ``t_end``
+    belongs to no epoch. The result has ``len(epoch_edges(...)) - 1`` cells.
+    """
+    edges = epoch_edges(t_start, t_end, epoch)
+    counts = [0] * (len(edges) - 1)
+    span = len(counts)
+    for ts in timestamps:
+        if ts < t_start or ts >= t_end:
+            continue
+        idx = int((ts - t_start) // epoch)
+        if idx >= span:
+            idx = span - 1
+        counts[idx] += 1
+    return counts
+
+
+def split_intervals(
+    t_start: float, t_end: float, parts: int
+) -> List[Tuple[float, float]]:
+    """Split ``[t_start, t_end)`` into ``parts`` equal sub-intervals.
+
+    Used by the stability checker: a signature is stable when it does not
+    change significantly across the sub-interval signatures.
+
+    Raises:
+        ValueError: if ``parts`` is not positive or the interval is inverted.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if t_end < t_start:
+        raise ValueError(f"inverted interval [{t_start}, {t_end}]")
+    width = (t_end - t_start) / parts
+    return [
+        (t_start + i * width, t_start + (i + 1) * width if i < parts - 1 else t_end)
+        for i in range(parts)
+    ]

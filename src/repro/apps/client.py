@@ -1,0 +1,87 @@
+"""Workload clients: drive requests into an application from an arrival process.
+
+The paper's experiments drive each application with "standard http client
+emulators ... with different workload" — Poisson request arrivals with
+per-case means (the P(x, y) notation of Figure 10). A
+:class:`WorkloadClient` binds one client host to one application and
+schedules requests from any arrival process in
+:mod:`repro.workload.arrivals`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.apps.multitier import MultiTierApp, RequestOutcome
+from repro.workload.arrivals import ArrivalProcess
+
+
+class WorkloadClient:
+    """A request generator attached to one client host.
+
+    Args:
+        host: the client's host node.
+        app: the target application.
+        arrivals: the inter-arrival process (Poisson, ON/OFF, ...).
+        reuse_prob: probability a request reuses the client's existing
+            connection to the front tier.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        app: MultiTierApp,
+        arrivals: ArrivalProcess,
+        reuse_prob: float = 0.0,
+    ) -> None:
+        self.host = host
+        self.app = app
+        self.arrivals = arrivals
+        self.reuse_prob = reuse_prob
+        self.outcomes: List[RequestOutcome] = []
+        self._stop_at: Optional[float] = None
+        self._on_outcome: Optional[Callable[[RequestOutcome], None]] = None
+
+    def run(
+        self,
+        start: float,
+        stop: float,
+        on_outcome: Optional[Callable[[RequestOutcome], None]] = None,
+    ) -> None:
+        """Schedule request generation over ``[start, stop)``.
+
+        Outcomes are accumulated in :attr:`outcomes` and also forwarded to
+        ``on_outcome`` when given.
+        """
+        if stop < start:
+            raise ValueError(f"inverted window [{start}, {stop}]")
+        self._stop_at = stop
+        self._on_outcome = on_outcome
+        sim = self.app.network.sim
+        first = start + self.arrivals.next_interarrival()
+        if first < stop:
+            sim.schedule_at(first, self._fire)
+
+    def _fire(self) -> None:
+        sim = self.app.network.sim
+        self.app.handle_request(
+            self.host, client_reuse=self.reuse_prob, on_done=self._record
+        )
+        nxt = sim.now + self.arrivals.next_interarrival()
+        if self._stop_at is not None and nxt < self._stop_at:
+            sim.schedule_at(nxt, self._fire)
+
+    def _record(self, outcome: RequestOutcome) -> None:
+        self.outcomes.append(outcome)
+        if self._on_outcome is not None:
+            self._on_outcome(outcome)
+
+    @property
+    def completed(self) -> int:
+        """Number of successfully completed requests so far."""
+        return sum(1 for o in self.outcomes if o.completed)
+
+    @property
+    def failed(self) -> int:
+        """Number of failed requests so far."""
+        return sum(1 for o in self.outcomes if not o.completed)

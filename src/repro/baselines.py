@@ -1,0 +1,166 @@
+"""Naive baseline detectors, for head-to-head comparisons with FlowDiff.
+
+The paper argues that layer-local, volume-centric monitoring misses
+problems whose signature is *structural* or *temporal* rather than
+volumetric. To make that argument measurable, this module implements the
+obvious straw-men an operator might deploy on the same controller log:
+
+* :class:`RateThresholdDetector` — alarm when the global PacketIn rate
+  deviates from the baseline by more than N sigmas (the classic NOC
+  "traffic looks weird" monitor). Cheap, but it cannot localize and is
+  blind to anything that leaves total volume unchanged.
+* :class:`PerHostVolumeDetector` — alarm per host whose flow count
+  changes by more than a relative threshold; localizes crude volume
+  shifts, but cannot see delay problems at all and mislocalizes
+  structural ones.
+
+The ``benchmarks/test_baseline_comparison.py`` harness sweeps Table I's
+faults over FlowDiff and these baselines and reports who detects and who
+localizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import mean_std
+from repro.analysis.timeseries import epoch_counts
+from repro.openflow.log import ControllerLog
+
+
+@dataclass(frozen=True)
+class BaselineVerdict:
+    """What a baseline detector concluded about a log.
+
+    Attributes:
+        alarmed: whether the detector raised an alarm.
+        suspects: hosts implicated, best first (empty when the detector
+            cannot localize).
+        detail: human-readable reasoning.
+    """
+
+    alarmed: bool
+    suspects: Tuple[str, ...]
+    detail: str
+
+
+class RateThresholdDetector:
+    """Global PacketIn-rate z-score alarm (no localization).
+
+    Args:
+        sigmas: alarm when the current mean rate deviates from the
+            baseline mean by more than this many baseline standard
+            deviations.
+        relative: alternatively alarm when the mean rate changes by more
+            than this fraction of the baseline mean (robust to bursty
+            baselines whose standard deviation is large).
+        epoch: rate-estimation bucket width in seconds.
+    """
+
+    name = "rate_threshold"
+
+    def __init__(
+        self, sigmas: float = 3.0, relative: float = 0.4, epoch: float = 1.0
+    ) -> None:
+        self.sigmas = sigmas
+        self.relative = relative
+        self.epoch = epoch
+        self._baseline: Optional[Tuple[float, float]] = None
+
+    def _rates(self, log: ControllerLog) -> List[float]:
+        t0, t1 = log.time_span
+        if t1 <= t0:
+            return []
+        times = [p.timestamp for p in log.packet_ins()]
+        return [
+            c / self.epoch for c in epoch_counts(times, t0, t1, self.epoch)
+        ]
+
+    def fit(self, baseline_log: ControllerLog) -> None:
+        """Learn the healthy rate profile."""
+        self._baseline = mean_std(self._rates(baseline_log))
+
+    def check(self, log: ControllerLog) -> BaselineVerdict:
+        """Compare a log's rate against the fitted baseline.
+
+        Raises:
+            RuntimeError: when :meth:`fit` has not run.
+        """
+        if self._baseline is None:
+            raise RuntimeError("fit() must run before check()")
+        base_mean, base_std = self._baseline
+        cur_mean, _ = mean_std(self._rates(log))
+        denom = max(base_std, base_mean * 0.05, 1e-9)
+        score = abs(cur_mean - base_mean) / denom
+        rel = abs(cur_mean - base_mean) / max(base_mean, 1e-9)
+        alarmed = score > self.sigmas or rel > self.relative
+        return BaselineVerdict(
+            alarmed=alarmed,
+            suspects=(),
+            detail=(
+                f"PacketIn rate {cur_mean:.1f}/s vs baseline "
+                f"{base_mean:.1f}/s ({score:.1f} sigma, {rel * 100:.0f}%)"
+            ),
+        )
+
+
+class PerHostVolumeDetector:
+    """Per-host flow-count change alarm (crude localization).
+
+    Args:
+        relative_threshold: alarm on hosts whose flow count changed by
+            more than this fraction of the larger of the two counts.
+        min_flows: ignore hosts with fewer baseline flows than this
+            (their relative change is noise).
+    """
+
+    name = "per_host_volume"
+
+    def __init__(self, relative_threshold: float = 0.5, min_flows: int = 10) -> None:
+        self.relative_threshold = relative_threshold
+        self.min_flows = min_flows
+        self._baseline: Optional[Dict[str, int]] = None
+        self._baseline_span: float = 1.0
+
+    @staticmethod
+    def _host_counts(log: ControllerLog) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for pin in log.packet_ins():
+            for host in (pin.flow.src, pin.flow.dst):
+                counts[host] = counts.get(host, 0) + 1
+        return counts
+
+    def fit(self, baseline_log: ControllerLog) -> None:
+        """Learn per-host flow counts (normalized per second)."""
+        self._baseline = self._host_counts(baseline_log)
+        t0, t1 = baseline_log.time_span
+        self._baseline_span = max(t1 - t0, 1e-9)
+
+    def check(self, log: ControllerLog) -> BaselineVerdict:
+        """Flag hosts whose normalized flow count moved beyond threshold.
+
+        Raises:
+            RuntimeError: when :meth:`fit` has not run.
+        """
+        if self._baseline is None:
+            raise RuntimeError("fit() must run before check()")
+        t0, t1 = log.time_span
+        span = max(t1 - t0, 1e-9)
+        current = self._host_counts(log)
+        flagged: List[Tuple[str, float]] = []
+        for host in set(self._baseline) | set(current):
+            base = self._baseline.get(host, 0) / self._baseline_span
+            cur = current.get(host, 0) / span
+            if max(self._baseline.get(host, 0), current.get(host, 0)) < self.min_flows:
+                continue
+            denom = max(base, cur, 1e-9)
+            rel = abs(cur - base) / denom
+            if rel > self.relative_threshold:
+                flagged.append((host, rel))
+        flagged.sort(key=lambda kv: (-kv[1], kv[0]))
+        return BaselineVerdict(
+            alarmed=bool(flagged),
+            suspects=tuple(host for host, _ in flagged),
+            detail=f"{len(flagged)} host(s) over volume threshold",
+        )

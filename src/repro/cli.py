@@ -1,0 +1,211 @@
+"""Command-line interface: capture, model, and diff controller logs.
+
+Usage (also via ``python -m repro``):
+
+* ``repro simulate --out baseline.jsonl`` — run the lab scenario and
+  store its controller log (optionally with a fault injected), standing
+  in for a live capture.
+* ``repro inspect baseline.jsonl`` — summarize a capture: message counts,
+  span, application groups, signature digests.
+* ``repro diff baseline.jsonl current.jsonl`` — the paper's workflow:
+  model both captures and print the diagnosis report.
+
+The CLI exists so stored captures can be analyzed without writing Python;
+every command maps 1:1 onto the library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.flowdiff import FlowDiff, FlowDiffConfig
+from repro.core.signatures.application import SignatureConfig
+from repro.openflow.ryu_ingest import read_ryu_log
+from repro.openflow.serialize import read_log, save_log
+
+
+def _read(path: str, fmt: str):
+    """Load a capture in the requested format (native JSONL or Ryu dump)."""
+    if fmt == "ryu":
+        return read_ryu_log(path)
+    return read_log(path)
+
+#: Faults injectable from the command line (name -> factory taking a target).
+_CLI_FAULTS = {
+    "logging": lambda target: _host_fault("LoggingMisconfig", target),
+    "cpu": lambda target: _host_fault("HighCPU", target),
+    "crash": lambda target: _host_fault("AppCrash", target),
+    "shutdown": lambda target: _host_fault("HostShutdown", target),
+}
+
+
+def _host_fault(kind: str, target: str):
+    import repro.faults as faults
+
+    return getattr(faults, kind)(target)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.scenarios import three_tier_lab
+
+    scenario = three_tier_lab(seed=args.seed)
+    if args.fault:
+        factory = _CLI_FAULTS.get(args.fault)
+        if factory is None:
+            print(f"unknown fault {args.fault!r}; choices: {sorted(_CLI_FAULTS)}")
+            return 2
+        scenario.inject(factory(args.target), at=0.0)
+    log = scenario.run(0.5, args.duration)
+    count = save_log(log, args.out)
+    print(f"wrote {count} control messages to {args.out}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    log = _read(args.log, args.format)
+    t0, t1 = log.time_span
+    print(f"{args.log}: {len(log)} messages over [{t0:.2f}, {t1:.2f}]s")
+    print(
+        f"  PacketIn={len(log.packet_ins())} FlowMod={len(log.flow_mods())} "
+        f"FlowRemoved={len(log.flow_removed())}"
+    )
+    fd = FlowDiff(_config(args))
+    model = fd.model(log, assess=not args.no_stability)
+    for key, sig in sorted(model.app_signatures.items()):
+        members = ", ".join(sorted(sig.group.members))
+        print(f"  group [{members}]")
+        print(f"    edges={len(sig.cg.edges)} flows={sig.fs.flow_count}")
+        for (kind_key, kind), verdict in sorted(model.stability.items()):
+            if kind_key == key and not verdict:
+                print(f"    unstable signature: {kind.value}")
+    infra = model.infrastructure
+    print(
+        f"  infrastructure: {len(infra.pt.switch_links)} switch links, "
+        f"CRT {infra.crt.mean * 1000:.2f}ms (n={infra.crt.count})"
+    )
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.core.persist import save_model
+
+    fd = FlowDiff(_config(args))
+    model = fd.model(_read(args.log, args.format))
+    save_model(model, args.out)
+    print(
+        f"wrote baseline model ({len(model.app_signatures)} group(s), "
+        f"window [{model.window[0]:.1f}, {model.window[1]:.1f}]s) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core.persist import load_model
+
+    fd = FlowDiff(_config(args))
+    if args.baseline_model:
+        baseline = load_model(args.baseline)
+    else:
+        baseline = fd.model(_read(args.baseline, args.format))
+    current_log = _read(args.current, args.format)
+    current = fd.model(current_log, assess=False)
+    task_library = None
+    if args.tasks:
+        from repro.core.tasks.serialize import load_library
+
+        task_library = load_library(args.tasks)
+    report = fd.diff(
+        baseline, current, task_library=task_library, current_log=current_log
+    )
+    if args.html:
+        from repro.core.diff.html import save_html_report
+
+        save_html_report(report, args.html)
+        print(f"wrote HTML report to {args.html}")
+    if args.json:
+        print(report.to_json())
+    elif not args.html:
+        print(report.render())
+    return 0 if report.healthy else 1
+
+
+def _config(args: argparse.Namespace) -> FlowDiffConfig:
+    special = tuple(args.special_nodes.split(",")) if args.special_nodes else ()
+    return FlowDiffConfig(signature=SignatureConfig(special_nodes=special))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlowDiff: diagnose data center behavior flow by flow",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run the lab scenario, store its log")
+    sim.add_argument("--out", required=True, help="output capture path (.jsonl)")
+    sim.add_argument("--duration", type=float, default=30.0)
+    sim.add_argument("--seed", type=int, default=3)
+    sim.add_argument("--fault", help=f"inject a fault: {sorted(_CLI_FAULTS)}")
+    sim.add_argument("--target", default="S3", help="fault target host")
+    sim.set_defaults(fn=_cmd_simulate)
+
+    insp = sub.add_parser("inspect", help="summarize a stored capture")
+    insp.add_argument("log")
+    insp.add_argument("--special-nodes", default="", help="comma-separated service hosts")
+    insp.add_argument("--no-stability", action="store_true")
+    insp.add_argument(
+        "--format",
+        choices=("native", "ryu"),
+        default="native",
+        help="capture format: native JSONL or a Ryu event dump",
+    )
+    insp.set_defaults(fn=_cmd_inspect)
+
+    mdl = sub.add_parser("model", help="precompute and store a baseline model")
+    mdl.add_argument("log", help="capture to model")
+    mdl.add_argument("--out", required=True, help="output model path (.json)")
+    mdl.add_argument("--special-nodes", default="", help="comma-separated service hosts")
+    mdl.add_argument(
+        "--format",
+        choices=("native", "ryu"),
+        default="native",
+        help="capture format: native JSONL or a Ryu event dump",
+    )
+    mdl.set_defaults(fn=_cmd_model)
+
+    diff = sub.add_parser("diff", help="diff two captures (L1 baseline, L2 current)")
+    diff.add_argument("baseline", help="baseline capture, or a stored model with --baseline-model")
+    diff.add_argument("current")
+    diff.add_argument(
+        "--baseline-model",
+        action="store_true",
+        help="treat BASELINE as a stored model file rather than a capture",
+    )
+    diff.add_argument("--special-nodes", default="", help="comma-separated service hosts")
+    diff.add_argument("--json", action="store_true", help="emit the report as JSON")
+    diff.add_argument("--html", help="also write a standalone HTML report to this path")
+    diff.add_argument(
+        "--tasks",
+        help="stored task library (JSON) used to explain planned changes",
+    )
+    diff.add_argument(
+        "--format",
+        choices=("native", "ryu"),
+        default="native",
+        help="capture format: native JSONL or a Ryu event dump",
+    )
+    diff.set_defaults(fn=_cmd_diff)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

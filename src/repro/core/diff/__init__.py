@@ -1,0 +1,33 @@
+"""Signature diffing and diagnosis (Section IV).
+
+* :mod:`repro.core.diff.compare` — per-signature comparators producing
+  :class:`~repro.core.signatures.base.ChangeRecord` lists.
+* :mod:`repro.core.diff.validate` — splitting changes into *known*
+  (explained by a detected operator task) and *unknown*.
+* :mod:`repro.core.diff.dependency` — the application x infrastructure
+  dependency matrix and problem-type classification (Figures 2(b) and 8).
+* :mod:`repro.core.diff.ranking` — component ranking for localization.
+* :mod:`repro.core.diff.report` — the operator-facing diagnosis report.
+"""
+
+from repro.core.diff.compare import CompareThresholds, compare_models
+from repro.core.diff.validate import TaskExplanation, validate_changes
+from repro.core.diff.dependency import (
+    DependencyMatrix,
+    ProblemInference,
+    classify_problems,
+)
+from repro.core.diff.ranking import rank_components
+from repro.core.diff.report import DiagnosisReport
+
+__all__ = [
+    "CompareThresholds",
+    "compare_models",
+    "TaskExplanation",
+    "validate_changes",
+    "DependencyMatrix",
+    "ProblemInference",
+    "classify_problems",
+    "rank_components",
+    "DiagnosisReport",
+]

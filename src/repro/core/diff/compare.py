@@ -1,0 +1,148 @@
+"""Comparing two behavior models signature by signature (Section IV-A).
+
+``compare_models`` walks the matched application groups of a baseline and
+a current model, applies each signature's comparator with operator-set
+thresholds, and appends the infrastructure comparisons — yielding the flat
+change list that validation, classification, and ranking consume.
+
+Signatures marked unstable in the *baseline* model are skipped, per the
+paper: "We do not use unstable signatures in the problem detection to
+avoid false positives."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.groups import match_groups
+from repro.core.model import BehaviorModel
+from repro.core.signatures.base import ChangeRecord, SignatureKind
+
+
+@dataclass(frozen=True)
+class CompareThresholds:
+    """Operator-defined significance thresholds (Section IV-A).
+
+    Attributes:
+        fs_relative: relative change for flow-statistics scalars.
+        ci_chi2: chi-squared threshold for component interaction.
+        dd_shift: delay-peak shift threshold in seconds (the paper bins at
+            20 ms; shifts beyond one bin are significant).
+        dd_mean_shift: delay mean-shift threshold in seconds (the
+            first-pairing mean is a low-variance estimator, so a tighter
+            threshold catches retransmission tails without peak movement).
+        pc_delta: partial-correlation delta threshold.
+        isl_sigmas: ISL mean shift in baseline standard deviations.
+        crt_sigmas: CRT mean shift in baseline standard deviations.
+    """
+
+    fs_relative: float = 0.35
+    ci_chi2: float = 10.0
+    dd_shift: float = 0.03
+    dd_mean_shift: float = 0.015
+    pc_delta: float = 0.4
+    isl_sigmas: float = 4.0
+    crt_sigmas: float = 4.0
+
+
+def compare_models(
+    baseline: BehaviorModel,
+    current: BehaviorModel,
+    thresholds: Optional[CompareThresholds] = None,
+) -> List[ChangeRecord]:
+    """The ``diff`` of Figure 1: all significant signature changes L1 -> L2."""
+    th = thresholds or CompareThresholds()
+    changes: List[ChangeRecord] = []
+
+    pairs = match_groups(baseline.groups(), current.groups())
+    for base_group, cur_group in pairs:
+        if base_group is None and cur_group is not None:
+            sig = current.app_signatures[cur_group.key]
+            first_time = min(
+                (t for _, t in sig.cg.first_seen), default=None
+            )
+            changes.append(
+                ChangeRecord(
+                    kind=SignatureKind.CG,
+                    scope=cur_group.key,
+                    description=(
+                        "new application group "
+                        f"{{{', '.join(sorted(cur_group.members))}}}"
+                    ),
+                    components=frozenset(cur_group.members),
+                    magnitude=float(len(cur_group.members)),
+                    timestamp=first_time,
+                    direction="added",
+                )
+            )
+            continue
+        if base_group is not None and cur_group is None:
+            changes.append(
+                ChangeRecord(
+                    kind=SignatureKind.CG,
+                    scope=base_group.key,
+                    description=(
+                        "application group disappeared "
+                        f"{{{', '.join(sorted(base_group.members))}}}"
+                    ),
+                    components=frozenset(base_group.members),
+                    magnitude=float(len(base_group.members)),
+                    direction="removed",
+                )
+            )
+            continue
+        assert base_group is not None and cur_group is not None
+        base_sig = baseline.app_signatures[base_group.key]
+        cur_sig = current.app_signatures[cur_group.key]
+        scope = base_group.key
+
+        def stable(kind: SignatureKind) -> bool:
+            return baseline.is_stable(base_group.key, kind)
+
+        if stable(SignatureKind.CG):
+            changes.extend(base_sig.cg.diff(cur_sig.cg, scope))
+        if stable(SignatureKind.FS):
+            changes.extend(
+                base_sig.fs.diff(cur_sig.fs, scope, threshold=th.fs_relative)
+            )
+        if stable(SignatureKind.CI):
+            changes.extend(
+                base_sig.ci.diff(cur_sig.ci, scope, chi2_threshold=th.ci_chi2)
+            )
+        if stable(SignatureKind.DD):
+            changes.extend(
+                base_sig.dd.diff(
+                    cur_sig.dd,
+                    scope,
+                    shift_threshold=th.dd_shift,
+                    mean_threshold=th.dd_mean_shift,
+                )
+            )
+        if stable(SignatureKind.PC):
+            changes.extend(
+                base_sig.pc.diff(cur_sig.pc, scope, delta_threshold=th.pc_delta)
+            )
+
+    infra_base = baseline.infrastructure
+    infra_cur = current.infrastructure
+    changes.extend(infra_base.pt.diff(infra_cur.pt))
+    for ts, dpid, port in infra_cur.port_down_events:
+        changes.append(
+            ChangeRecord(
+                kind=SignatureKind.PT,
+                scope="infrastructure",
+                description=f"switch {dpid} reported port {port} down",
+                components=frozenset({dpid}),
+                magnitude=1.0,
+                timestamp=ts,
+                direction="removed",
+            )
+        )
+    changes.extend(
+        infra_base.isl.diff(infra_cur.isl, sigma_threshold=th.isl_sigmas)
+    )
+    changes.extend(
+        infra_base.crt.diff(infra_cur.crt, sigma_threshold=th.crt_sigmas)
+    )
+    return changes

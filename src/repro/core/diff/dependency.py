@@ -1,0 +1,242 @@
+"""Dependency matrices and problem-type classification (Section IV-C).
+
+The dependency matrix A has application-signature rows (CG, DD, CI, PC,
+FS) and infrastructure-signature columns (PT, ISL, CRT); ``A[i][j] = 1``
+when changes were detected in both the i-th application component and the
+j-th infrastructure component. "Each combination of dependencies between
+application and infrastructure signatures represents a type of problem" —
+e.g. congestion lights up DD/PC/FS x ISL (Figure 8(a)) while switch
+failure is CG x PT (Figure 8(b)).
+
+Classification scores each known problem class by how well the observed
+changed-signature set matches the class's expected set (Figure 2(b)),
+rewarding covered expectations and penalizing both missing and spurious
+components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.signatures.base import ChangeRecord, SignatureKind
+
+APP_KINDS: Tuple[SignatureKind, ...] = (
+    SignatureKind.CG,
+    SignatureKind.DD,
+    SignatureKind.CI,
+    SignatureKind.PC,
+    SignatureKind.FS,
+)
+INFRA_KINDS: Tuple[SignatureKind, ...] = (
+    SignatureKind.PT,
+    SignatureKind.ISL,
+    SignatureKind.CRT,
+)
+
+
+@dataclass(frozen=True)
+class DependencyMatrix:
+    """The application x infrastructure co-change matrix of Section IV-C."""
+
+    cells: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def from_changes(cls, changes: Sequence[ChangeRecord]) -> "DependencyMatrix":
+        """Build the matrix from a set of (unknown) signature changes."""
+        changed = {c.kind for c in changes}
+        rows = []
+        for app in APP_KINDS:
+            row = []
+            for infra in INFRA_KINDS:
+                row.append(1 if app in changed and infra in changed else 0)
+            rows.append(tuple(row))
+        return cls(cells=tuple(rows))
+
+    def at(self, app: SignatureKind, infra: SignatureKind) -> int:
+        """The matrix cell for an (application, infrastructure) pair."""
+        return self.cells[APP_KINDS.index(app)][INFRA_KINDS.index(infra)]
+
+    def render(self) -> str:
+        """ASCII rendering in the paper's row/column order."""
+        header = "      " + "  ".join(k.value.rjust(3) for k in INFRA_KINDS)
+        lines = [header]
+        for app, row in zip(APP_KINDS, self.cells):
+            lines.append(
+                app.value.ljust(6) + "  ".join(str(v).rjust(3) for v in row)
+            )
+        return "\n".join(lines)
+
+
+#: Expected changed-signature sets per problem class (Figure 2(b) /
+#: Table I). Order matters only for deterministic tie-breaking.
+PROBLEM_SIGNATURES: Tuple[Tuple[str, FrozenSet[SignatureKind]], ...] = (
+    (
+        "host_failure",
+        frozenset(
+            {SignatureKind.CG, SignatureKind.CI, SignatureKind.PC, SignatureKind.FS}
+        ),
+    ),
+    (
+        "host_performance",
+        frozenset({SignatureKind.DD, SignatureKind.FS}),
+    ),
+    (
+        "application_failure",
+        frozenset({SignatureKind.CG, SignatureKind.CI}),
+    ),
+    (
+        "application_performance",
+        frozenset({SignatureKind.DD}),
+    ),
+    (
+        "host_or_app_problem",
+        frozenset({SignatureKind.DD}),
+    ),
+    (
+        "network_disconnectivity",
+        frozenset(
+            {SignatureKind.CG, SignatureKind.CI, SignatureKind.FS, SignatureKind.PT}
+        ),
+    ),
+    (
+        "congestion",
+        frozenset(
+            {
+                SignatureKind.DD,
+                SignatureKind.PC,
+                SignatureKind.FS,
+                SignatureKind.ISL,
+            }
+        ),
+    ),
+    (
+        "switch_misconfiguration",
+        frozenset({SignatureKind.PT, SignatureKind.CG, SignatureKind.FS}),
+    ),
+    (
+        "switch_overhead",
+        frozenset({SignatureKind.ISL, SignatureKind.DD}),
+    ),
+    (
+        "controller_overhead",
+        frozenset(
+            {
+                SignatureKind.CRT,
+                SignatureKind.FS,
+                SignatureKind.DD,
+                SignatureKind.PC,
+            }
+        ),
+    ),
+    (
+        "switch_failure",
+        frozenset({SignatureKind.PT}),
+    ),
+    (
+        "controller_failure",
+        frozenset({SignatureKind.CRT, SignatureKind.FS, SignatureKind.CG}),
+    ),
+    (
+        "unauthorized_access",
+        frozenset({SignatureKind.CG, SignatureKind.CI, SignatureKind.FS}),
+    ),
+)
+
+
+#: First-response guidance per problem class — FlowDiff hands the operator
+#: debugging information, not root causes (Section I); these hints say
+#: where root-cause analysis should start.
+PROBLEM_HINTS: Dict[str, str] = {
+    "host_failure": "check power/connectivity of the top-ranked host; its flows vanished entirely",
+    "host_performance": "inspect host-level metrics (disk, NIC errors, retransmissions) on the ranked hosts",
+    "application_failure": "check the application process/logs on the top-ranked server; peers still reach it but it stopped responding downstream",
+    "application_performance": "profile the top-ranked server: its request processing slowed while traffic volume held",
+    "host_or_app_problem": "compare OS metrics vs application logs on the ranked server to split host from application cause",
+    "network_disconnectivity": "verify the links/switches in the ranked components; paths through them disappeared",
+    "congestion": "check utilization on the ranked switch links; co-resident bulk traffic is inflating latency",
+    "switch_misconfiguration": "audit recent rule/route changes on the ranked switches",
+    "switch_overhead": "inspect control/data-plane load on the ranked switches (table occupancy, CPU)",
+    "controller_overhead": "the controller is slow to install rules; check its load and scale-out options",
+    "switch_failure": "the ranked switch stopped reporting; check its liveness and fail over",
+    "controller_failure": "the controller stopped answering table misses; restart or fail over immediately",
+    "unauthorized_access": "the top-ranked host opened flows outside the baseline; isolate it and audit access",
+}
+
+
+@dataclass(frozen=True)
+class ProblemInference:
+    """One candidate problem type with its match score.
+
+    Attributes:
+        problem: the problem-class label.
+        score: Jaccard similarity between observed and expected
+            changed-signature sets, in [0, 1].
+        matched: the expected kinds that were observed.
+        missing: expected kinds not observed.
+        unexpected: observed kinds the class does not predict.
+    """
+
+    problem: str
+    score: float
+    matched: FrozenSet[SignatureKind]
+    missing: FrozenSet[SignatureKind]
+    unexpected: FrozenSet[SignatureKind]
+
+    @property
+    def hint(self) -> str:
+        """First-response guidance for this problem class."""
+        return PROBLEM_HINTS.get(self.problem, "")
+
+
+#: Problem classes that only make sense for *appearing* structure (new CG
+#: edges) or *vanishing* structure (missing CG edges), respectively. An
+#: intruder adds edges; a failed host removes them — the change-direction
+#: evidence Figure 2(b) leaves implicit.
+ADDITION_CLASSES = frozenset({"unauthorized_access"})
+REMOVAL_CLASSES = frozenset(
+    {"host_failure", "application_failure", "network_disconnectivity"}
+)
+
+
+def classify_problems(
+    changes: Sequence[ChangeRecord],
+    top_k: int = 3,
+    min_score: float = 0.25,
+) -> List[ProblemInference]:
+    """Rank problem classes by fit to the observed change set.
+
+    Returns at most ``top_k`` inferences with score >= ``min_score``,
+    best first. An empty change set yields no inference (healthy).
+    Direction-sensitive classes are gated on the CG change direction:
+    unauthorized access needs added edges, failure classes need removed
+    edges.
+    """
+    observed = frozenset(c.kind for c in changes)
+    if not observed:
+        return []
+    cg_changes = [c for c in changes if c.kind == SignatureKind.CG]
+    has_added = any(c.direction == "added" for c in cg_changes)
+    has_removed = any(c.direction == "removed" for c in cg_changes)
+    inferences = []
+    for problem, expected in PROBLEM_SIGNATURES:
+        matched = observed & expected
+        if not matched:
+            continue
+        if SignatureKind.CG in expected:
+            if problem in ADDITION_CLASSES and not has_added:
+                continue
+            if problem in REMOVAL_CLASSES and not has_removed:
+                continue
+        score = len(matched) / len(observed | expected)
+        inferences.append(
+            ProblemInference(
+                problem=problem,
+                score=score,
+                matched=matched,
+                missing=expected - observed,
+                unexpected=observed - expected,
+            )
+        )
+    inferences.sort(key=lambda p: (-p.score, p.problem))
+    return [p for p in inferences[:top_k] if p.score >= min_score]

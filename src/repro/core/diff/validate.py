@@ -1,0 +1,119 @@
+"""Validating changes against the task time series (Section IV-B).
+
+A detected change is **known** when a valid operational task explains it:
+the change's timestamp falls within (or near) a detected task event whose
+involved hosts intersect the change's components, and the task type is one
+that can produce that kind of change. Everything else is **unknown** and
+feeds problem classification.
+
+Changes without a timestamp (absences — a missing edge has no "moment" in
+the current log) are matched against any task event in the window whose
+hosts overlap, since e.g. a VM-stop task explains the later absence of the
+VM's edges anywhere in the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.signatures.base import ChangeRecord, SignatureKind
+from repro.core.tasks.detector import TaskEvent
+
+
+@dataclass(frozen=True)
+class TaskExplanation:
+    """What kinds of signature change a task type can legitimately cause.
+
+    Attributes:
+        task_name: the task-type label as learned by the task library.
+        explains: the signature kinds the task may change (e.g. VM
+            migration explains CG/CI/PT/FS changes; it does not excuse a
+            controller response-time shift).
+        require_component_overlap: when True (default), the task event's
+            hosts must intersect the change's components.
+        slack: extra seconds around the task event during which changes
+            are still attributed to it (tasks have trailing effects, e.g.
+            flow entries expiring after a migration).
+    """
+
+    task_name: str
+    explains: FrozenSet[SignatureKind]
+    require_component_overlap: bool = True
+    slack: float = 5.0
+
+
+#: Reasonable default explanations for the built-in operator tasks.
+DEFAULT_EXPLANATIONS: Tuple[TaskExplanation, ...] = (
+    TaskExplanation(
+        "vm_migration",
+        frozenset(
+            {
+                SignatureKind.CG,
+                SignatureKind.CI,
+                SignatureKind.FS,
+                SignatureKind.PT,
+                SignatureKind.PC,
+            }
+        ),
+    ),
+    TaskExplanation(
+        "vm_startup",
+        frozenset(
+            {SignatureKind.CG, SignatureKind.CI, SignatureKind.FS, SignatureKind.PC}
+        ),
+    ),
+    TaskExplanation(
+        "vm_stop",
+        frozenset(
+            {SignatureKind.CG, SignatureKind.CI, SignatureKind.FS, SignatureKind.PC}
+        ),
+    ),
+    TaskExplanation(
+        "mount_nfs", frozenset({SignatureKind.CG, SignatureKind.CI, SignatureKind.FS})
+    ),
+    TaskExplanation(
+        "unmount_nfs",
+        frozenset({SignatureKind.CG, SignatureKind.CI, SignatureKind.FS}),
+    ),
+)
+
+
+def validate_changes(
+    changes: Sequence[ChangeRecord],
+    task_events: Sequence[TaskEvent],
+    explanations: Sequence[TaskExplanation] = DEFAULT_EXPLANATIONS,
+) -> Tuple[List[ChangeRecord], List[Tuple[ChangeRecord, TaskEvent]]]:
+    """Split changes into unknown and known (task-explained).
+
+    Returns:
+        ``(unknown, known)`` where ``known`` pairs each explained change
+        with the task event that explains it.
+    """
+    rules: Dict[str, TaskExplanation] = {e.task_name: e for e in explanations}
+    unknown: List[ChangeRecord] = []
+    known: List[Tuple[ChangeRecord, TaskEvent]] = []
+
+    for change in changes:
+        explained_by: Optional[TaskEvent] = None
+        for event in task_events:
+            rule = rules.get(event.name)
+            if rule is None or change.kind not in rule.explains:
+                continue
+            if change.timestamp is not None and not event.covers(
+                change.timestamp, slack=rule.slack
+            ):
+                continue
+            if rule.require_component_overlap:
+                hosts_in_change = {
+                    c for c in change.components if "--" not in c
+                }
+                if not (event.hosts & hosts_in_change):
+                    continue
+            explained_by = event
+            break
+        if explained_by is None:
+            unknown.append(change)
+        else:
+            known.append((change, explained_by))
+    return unknown, known

@@ -1,0 +1,259 @@
+"""Decoding controller logs into flow-level observations.
+
+The raw controller log is message-granular: one ``PacketIn`` per switch a
+new flow traverses, paired ``FlowMod`` replies, and eventual
+``FlowRemoved`` notifications. Signature building needs *flow-level*
+observations instead:
+
+* a :class:`FlowArrival` — one occurrence of a flow entering the network,
+  carrying its start time and per-switch hop reports in traversal order
+  (the Figure 3 pattern), from which the connectivity, interaction, delay,
+  and correlation signatures and the physical-topology / ISL inference all
+  derive;
+* a :class:`FlowRecord` — an arrival joined with its ``FlowRemoved``
+  counters (bytes, packets, duration), feeding the flow-statistics
+  signature.
+
+A 5-tuple can recur (connection reuse after entry expiry, periodic jobs);
+occurrences of the same key separated by more than ``occurrence_gap`` are
+distinct arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.openflow.log import ControllerLog
+from repro.openflow.match import FlowKey
+from repro.openflow.messages import FlowMod, FlowRemoved, PacketIn
+
+
+@dataclass(frozen=True)
+class HopReport:
+    """One switch's report of a flow occurrence.
+
+    Attributes:
+        dpid: the reporting switch.
+        in_port: ingress port from the ``PacketIn``.
+        packet_in_at: controller timestamp of the ``PacketIn``.
+        flow_mod_at: controller timestamp of the paired ``FlowMod`` (None
+            when the controller dropped the request).
+        out_port: egress port from the ``FlowMod`` (None when dropped).
+    """
+
+    dpid: str
+    in_port: int
+    packet_in_at: float
+    flow_mod_at: Optional[float] = None
+    out_port: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FlowArrival:
+    """One occurrence of a flow, as seen through control traffic.
+
+    Attributes:
+        flow: the 5-tuple.
+        time: arrival time (first ``PacketIn`` timestamp).
+        hops: per-switch reports in traversal order.
+    """
+
+    flow: FlowKey
+    time: float
+    hops: Tuple[HopReport, ...]
+
+    @property
+    def src(self) -> str:
+        """Source endpoint."""
+        return self.flow.src
+
+    @property
+    def dst(self) -> str:
+        """Destination endpoint."""
+        return self.flow.dst
+
+    @property
+    def path_dpids(self) -> Tuple[str, ...]:
+        """Switch dpids in traversal order."""
+        return tuple(h.dpid for h in self.hops)
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """A flow occurrence joined with its final counters.
+
+    Attributes:
+        arrival: the occurrence.
+        byte_count: bytes matched (max across reporting switches, since
+            every on-path switch sees the full flow).
+        packet_count: packets matched.
+        duration: entry active time, approximating flow duration.
+    """
+
+    arrival: FlowArrival
+    byte_count: int
+    packet_count: int
+    duration: float
+
+
+def extract_flow_arrivals(
+    log: ControllerLog, occurrence_gap: float = 1.0
+) -> List[FlowArrival]:
+    """Group per-switch ``PacketIn``/``FlowMod`` messages into flow arrivals.
+
+    Messages with the same 5-tuple within ``occurrence_gap`` seconds of the
+    previous report belong to one occurrence (the flow traversing its
+    path); a larger gap starts a new occurrence. ``FlowMod`` replies are
+    paired via their ``in_reply_to`` buffer id when present, falling back
+    to (dpid, order) matching.
+
+    Returns:
+        Arrivals sorted by time.
+    """
+    # Pair FlowMods with PacketIns.
+    mods_by_reply: Dict[int, FlowMod] = {}
+    unpaired_mods: Dict[str, List[FlowMod]] = {}
+    for mod in log.flow_mods():
+        if mod.in_reply_to is not None:
+            mods_by_reply[mod.in_reply_to] = mod
+        else:
+            unpaired_mods.setdefault(mod.dpid, []).append(mod)
+
+    def find_mod(pin: PacketIn) -> Optional[FlowMod]:
+        if pin.buffer_id in mods_by_reply:
+            return mods_by_reply[pin.buffer_id]
+        candidates = unpaired_mods.get(pin.dpid, [])
+        for mod in candidates:
+            if mod.timestamp >= pin.timestamp and mod.match.matches(pin.flow):
+                candidates.remove(mod)
+                return mod
+        return None
+
+    arrivals: List[FlowArrival] = []
+    open_runs: Dict[FlowKey, List[HopReport]] = {}
+    last_seen: Dict[FlowKey, float] = {}
+
+    def close(flow: FlowKey) -> None:
+        hops = open_runs.pop(flow, [])
+        if hops:
+            arrivals.append(
+                FlowArrival(flow=flow, time=hops[0].packet_in_at, hops=tuple(hops))
+            )
+
+    for pin in log.packet_ins():
+        flow = pin.flow
+        if flow in open_runs and pin.timestamp - last_seen[flow] > occurrence_gap:
+            close(flow)
+        mod = find_mod(pin)
+        hop = HopReport(
+            dpid=pin.dpid,
+            in_port=pin.in_port,
+            packet_in_at=pin.timestamp,
+            flow_mod_at=mod.timestamp if mod else None,
+            out_port=mod.out_port if mod else None,
+        )
+        open_runs.setdefault(flow, []).append(hop)
+        last_seen[flow] = pin.timestamp
+
+    for flow in list(open_runs):
+        close(flow)
+    arrivals.sort(key=lambda a: a.time)
+    return arrivals
+
+
+def extract_flow_records(
+    log: ControllerLog, occurrence_gap: float = 1.0
+) -> List[FlowRecord]:
+    """Join flow arrivals with their ``FlowRemoved`` counters.
+
+    Each arrival takes the earliest unconsumed ``FlowRemoved`` whose match
+    covers the flow and whose timestamp follows the arrival; the byte and
+    packet counts are maximized across the on-path switches that reported.
+    Arrivals with no expiry report in the log window keep zero counters
+    (they are still useful for structural signatures).
+    """
+    arrivals = extract_flow_arrivals(log, occurrence_gap)
+    removed = log.flow_removed()
+
+    # Index expiry reports for O(1) joining. Microflow matches are keyed by
+    # their exact 5-tuple per dpid; wildcard matches (rare in reactive
+    # deployments) fall back to a small linear list.
+    exact: Dict[Tuple[FlowKey, str], List[FlowRemoved]] = {}
+    wildcards: List[List] = []  # [FlowRemoved, consumed_flag]
+    for fr in removed:
+        m = fr.match
+        if m is not None and m.is_microflow:
+            key = FlowKey(
+                src=m.src, dst=m.dst, src_port=m.src_port,
+                dst_port=m.dst_port, proto=m.proto,
+            )
+            exact.setdefault((key, fr.dpid), []).append(fr)
+        else:
+            wildcards.append([fr, False])
+    # Per-bucket cursor: reports are already time-ordered within the log.
+    cursors: Dict[Tuple[FlowKey, str], int] = {}
+
+    records: List[FlowRecord] = []
+    for arrival in arrivals:
+        best_bytes = 0
+        best_packets = 0
+        best_duration = 0.0
+        on_path = set(arrival.path_dpids)
+        taken_dpids: set = set()
+        for dpid in on_path:
+            bucket = exact.get((arrival.flow, dpid))
+            if not bucket:
+                continue
+            i = cursors.get((arrival.flow, dpid), 0)
+            while i < len(bucket) and bucket[i].timestamp < arrival.time:
+                i += 1
+            if i < len(bucket):
+                fr = bucket[i]
+                cursors[(arrival.flow, dpid)] = i + 1
+                taken_dpids.add(dpid)
+                best_bytes = max(best_bytes, fr.byte_count)
+                best_packets = max(best_packets, fr.packet_count)
+                best_duration = max(best_duration, fr.duration)
+        for item in wildcards:
+            fr, consumed = item
+            if consumed or fr.timestamp < arrival.time:
+                continue
+            if fr.dpid not in on_path or fr.dpid in taken_dpids:
+                continue
+            if not fr.match.matches(arrival.flow):
+                continue
+            # At most one expiry report per switch belongs to one arrival;
+            # later reports for the same 5-tuple describe re-occurrences.
+            item[1] = True
+            taken_dpids.add(fr.dpid)
+            best_bytes = max(best_bytes, fr.byte_count)
+            best_packets = max(best_packets, fr.packet_count)
+            best_duration = max(best_duration, fr.duration)
+        records.append(
+            FlowRecord(
+                arrival=arrival,
+                byte_count=best_bytes,
+                packet_count=best_packets,
+                duration=best_duration,
+            )
+        )
+    return records
+
+
+def timed_flows(log: ControllerLog, dedup_window: float = 0.0) -> List[Tuple[float, FlowKey]]:
+    """Flatten a log into (time, flow) pairs, one per flow arrival.
+
+    The representation task mining consumes. ``dedup_window`` > 0 collapses
+    repeat reports of the same 5-tuple within the window (the per-switch
+    PacketIn fan-out), keeping the first.
+    """
+    out: List[Tuple[float, FlowKey]] = []
+    last: Dict[FlowKey, float] = {}
+    for pin in log.packet_ins():
+        prev = last.get(pin.flow)
+        if prev is not None and dedup_window > 0 and pin.timestamp - prev <= dedup_window:
+            continue
+        last[pin.flow] = pin.timestamp
+        out.append((pin.timestamp, pin.flow))
+    return out

@@ -1,0 +1,49 @@
+"""The behavior model: everything FlowDiff learns from one log window."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.groups import ApplicationGroup
+from repro.core.signatures.application import ApplicationSignature
+from repro.core.signatures.base import SignatureKind
+from repro.core.signatures.infrastructure import InfrastructureSignature
+
+
+@dataclass(frozen=True)
+class BehaviorModel:
+    """The modeled behavior of the data center over one log window.
+
+    Attributes:
+        app_signatures: per-group application signature bundles, keyed by
+            the group's deterministic key.
+        infrastructure: the data-center-wide infrastructure bundle.
+        window: the ``[t_start, t_end)`` interval modeled.
+        stability: per (group key, signature kind), whether the signature
+            was stable across sub-intervals of the window; unstable
+            signatures are excluded from problem detection "to avoid false
+            positives in raising debugging flags" (Section III-B). An
+            absent entry means stability was not assessed (treated as
+            stable).
+    """
+
+    app_signatures: Dict[str, ApplicationSignature]
+    infrastructure: InfrastructureSignature
+    window: Tuple[float, float]
+    stability: Dict[Tuple[str, SignatureKind], bool] = field(default_factory=dict)
+
+    def groups(self) -> List[ApplicationGroup]:
+        """The application groups, in key order."""
+        return [
+            self.app_signatures[k].group for k in sorted(self.app_signatures)
+        ]
+
+    def is_stable(self, group_key: str, kind: SignatureKind) -> bool:
+        """Whether a signature may participate in diffing."""
+        return self.stability.get((group_key, kind), True)
+
+    @property
+    def duration(self) -> float:
+        """Length of the modeled window in seconds."""
+        return self.window[1] - self.window[0]

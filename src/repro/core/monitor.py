@@ -1,0 +1,151 @@
+"""Continuous monitoring: sliding-window diagnosis over a live log.
+
+The paper frames FlowDiff as an offline tool (compare L1 against L2), but
+its deployment story is continuous: "FlowDiff frequently models the
+behavior of a data center ... To detect problems, it compares the current
+behavior with a previously computed, stable, and correct behavior"
+(Section I). :class:`SlidingDiagnoser` packages that loop:
+
+* a **baseline window** is modeled once (and can be re-anchored to any
+  healthy period later);
+* each call to :meth:`advance` models the most recent window of the
+  growing log and diffs it against the baseline;
+* consecutive reports expose *onset detection*: the first window where a
+  problem class appears tells the operator roughly when the problem
+  started, without re-reading old windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.diff.report import DiagnosisReport
+from repro.core.flowdiff import FlowDiff, FlowDiffConfig
+from repro.core.model import BehaviorModel
+from repro.core.tasks.library import TaskLibrary
+from repro.openflow.log import ControllerLog
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """One monitoring step: the window bounds and its diagnosis."""
+
+    t_start: float
+    t_end: float
+    report: DiagnosisReport
+
+    @property
+    def healthy(self) -> bool:
+        """Whether this window showed no unexplained changes."""
+        return self.report.healthy
+
+
+class SlidingDiagnoser:
+    """Periodically diff the newest log window against a healthy baseline.
+
+    Args:
+        config: FlowDiff tunables (thresholds, special nodes, ...).
+        window: seconds of log modeled per step.
+        task_library: learned operator-task signatures used to silence
+            planned changes in every window.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FlowDiffConfig] = None,
+        window: float = 30.0,
+        task_library: Optional[TaskLibrary] = None,
+        rebaseline_after: int = 0,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.flowdiff = FlowDiff(config)
+        self.window = window
+        self.task_library = task_library
+        #: After this many consecutive healthy windows the newest healthy
+        #: window becomes the baseline, so slow legitimate drift (workload
+        #: growth, gradual redeployments) does not eventually alarm.
+        #: 0 disables automatic re-anchoring.
+        self.rebaseline_after = rebaseline_after
+        self.baseline: Optional[BehaviorModel] = None
+        self.history: List[WindowReport] = []
+        self._cursor = 0.0
+        self.rebaseline_count = 0
+
+    # ------------------------------------------------------------------
+
+    def set_baseline(self, log: ControllerLog, t_start: float, t_end: float) -> None:
+        """Model ``[t_start, t_end)`` of ``log`` as the healthy reference.
+
+        Also positions the monitoring cursor at ``t_end`` so the first
+        :meth:`advance` examines what follows the baseline.
+        """
+        sub = log.window(t_start, t_end)
+        self.baseline = self.flowdiff.model(sub, window=(t_start, t_end))
+        self._cursor = t_end
+        self.history.clear()
+
+    def advance(self, log: ControllerLog) -> List[WindowReport]:
+        """Diagnose every complete window between the cursor and log end.
+
+        Returns the newly produced window reports (also appended to
+        :attr:`history`). Incomplete trailing windows wait for more log.
+
+        Raises:
+            RuntimeError: if no baseline has been set.
+        """
+        if self.baseline is None:
+            raise RuntimeError("set_baseline() must run before advance()")
+        _, log_end = log.time_span
+        new_reports: List[WindowReport] = []
+        while self._cursor + self.window <= log_end:
+            t0 = self._cursor
+            t1 = t0 + self.window
+            sub = log.window(t0, t1)
+            current = self.flowdiff.model(sub, window=(t0, t1), assess=False)
+            report = self.flowdiff.diff(
+                self.baseline,
+                current,
+                task_library=self.task_library,
+                current_log=sub if self.task_library else None,
+            )
+            entry = WindowReport(t_start=t0, t_end=t1, report=report)
+            self.history.append(entry)
+            new_reports.append(entry)
+            self._cursor = t1
+            if (
+                self.rebaseline_after > 0
+                and entry.healthy
+                and self.healthy_streak() >= self.rebaseline_after
+            ):
+                # Re-anchor on the most recent healthy window. A full
+                # model (with stability assessment) replaces the baseline.
+                self.baseline = self.flowdiff.model(sub, window=(t0, t1))
+                self.rebaseline_count += 1
+        return new_reports
+
+    # ------------------------------------------------------------------
+
+    def problem_onset(self, problem: str) -> Optional[float]:
+        """The start of the first window where ``problem`` was inferred."""
+        for entry in self.history:
+            if any(p.problem == problem for p in entry.report.problems):
+                return entry.t_start
+        return None
+
+    def first_unhealthy(self) -> Optional[WindowReport]:
+        """The earliest window with unexplained changes, if any."""
+        for entry in self.history:
+            if not entry.healthy:
+                return entry
+        return None
+
+    def healthy_streak(self) -> int:
+        """Number of consecutive healthy windows at the end of history."""
+        streak = 0
+        for entry in reversed(self.history):
+            if not entry.healthy:
+                break
+            streak += 1
+        return streak

@@ -1,0 +1,77 @@
+"""Shared signature vocabulary: kinds and change records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+
+class SignatureKind(str, enum.Enum):
+    """The eight signature components of Figure 2(a) / Section III-C."""
+
+    CG = "CG"  # connectivity graph
+    FS = "FS"  # flow statistics
+    CI = "CI"  # component interaction
+    DD = "DD"  # delay distribution
+    PC = "PC"  # partial correlation
+    PT = "PT"  # physical topology
+    ISL = "ISL"  # inter-switch latency
+    CRT = "CRT"  # controller response time
+
+    @property
+    def is_application(self) -> bool:
+        """Whether this kind belongs to the application signature bundle."""
+        return self in (
+            SignatureKind.CG,
+            SignatureKind.FS,
+            SignatureKind.CI,
+            SignatureKind.DD,
+            SignatureKind.PC,
+        )
+
+    @property
+    def is_infrastructure(self) -> bool:
+        """Whether this kind belongs to the infrastructure bundle."""
+        return not self.is_application
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One detected difference between two signature snapshots.
+
+    Attributes:
+        kind: which signature component changed.
+        scope: the application group key, or ``"infrastructure"``.
+        description: human-readable summary of the change.
+        components: physical/logical components (hosts, switches, links as
+            ``"a--b"``) implicated — the paper's localization unit.
+        magnitude: dimensionless change size (per-kind semantics: edge
+            counts for CG/PT, chi-squared for CI, peak shift for DD, delta
+            for PC, relative change for FS, mean-shift-in-std for ISL/CRT).
+        timestamp: earliest time the change is visible in the current log
+            (used to align against the task time series); None when the
+            change is an absence.
+        direction: ``"added"`` for newly appeared structure, ``"removed"``
+            for vanished structure, ``"shifted"`` for value changes —
+            problem classification uses this to tell unauthorized access
+            (new edges) from failures (missing edges).
+    """
+
+    kind: SignatureKind
+    scope: str
+    description: str
+    components: FrozenSet[str] = frozenset()
+    magnitude: float = 0.0
+    timestamp: Optional[float] = None
+    direction: str = "shifted"
+
+    def brief(self) -> str:
+        """A one-line rendering used in reports."""
+        ts = f" @{self.timestamp:.2f}s" if self.timestamp is not None else ""
+        return f"[{self.kind.value}] {self.scope}: {self.description}{ts}"
+
+
+def edge_component(a: str, b: str) -> str:
+    """Canonical component name for the link/edge between two nodes."""
+    return f"{a}--{b}"

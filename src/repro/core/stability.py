@@ -1,0 +1,123 @@
+"""Signature stability assessment (Section III-B, last paragraph).
+
+"To determine whether a signature is stable, FlowDiff partitions the log
+into several time intervals and computes the application signatures for
+each interval. If a signature does not change significantly across all
+intervals, we consider it stable and use it during problem detection."
+
+Unstable signatures (e.g. component interaction under non-linear load
+balancing, Section V-B1) are excluded from diffing so they cannot raise
+false debugging flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.timeseries import split_intervals
+from repro.core.signatures.application import (
+    ApplicationSignature,
+    SignatureConfig,
+    build_application_signatures,
+)
+from repro.core.signatures.base import SignatureKind
+from repro.openflow.log import ControllerLog
+
+
+@dataclass(frozen=True)
+class StabilityThresholds:
+    """Maximum across-interval distance for a signature to count as stable.
+
+    Distances use each signature's ``distance`` semantics: normalized edge
+    churn for CG, normalized-share drift for CI, dominant-peak shift in
+    seconds for DD, correlation delta for PC, and max relative scalar
+    change for FS. FS and PC tolerate more because short intervals carry
+    sampling noise.
+    """
+
+    cg: float = 0.35
+    fs: float = 0.6
+    ci: float = 0.3
+    dd: float = 0.03
+    pc: float = 0.5
+
+
+def _match_interval_signature(
+    group_members: frozenset,
+    interval_sigs: Dict[str, ApplicationSignature],
+) -> Optional[ApplicationSignature]:
+    """The interval signature whose group overlaps ``group_members`` most."""
+    best = None
+    best_overlap = 0
+    for sig in interval_sigs.values():
+        overlap = len(sig.group.members & group_members)
+        if overlap > best_overlap:
+            best, best_overlap = sig, overlap
+    return best
+
+
+def assess_stability(
+    log: ControllerLog,
+    config: Optional[SignatureConfig] = None,
+    parts: int = 3,
+    thresholds: Optional[StabilityThresholds] = None,
+    window: Optional[Tuple[float, float]] = None,
+) -> Dict[Tuple[str, SignatureKind], bool]:
+    """Per (group, kind) stability verdicts over ``parts`` sub-intervals.
+
+    Signatures observed in fewer than two sub-intervals are left unjudged
+    (absent from the result, treated as stable by the behavior model) —
+    sparse data is not evidence of instability.
+
+    Raises:
+        ValueError: if ``parts`` < 2.
+    """
+    if parts < 2:
+        raise ValueError(f"stability assessment needs >= 2 parts, got {parts}")
+    config = config or SignatureConfig()
+    thresholds = thresholds or StabilityThresholds()
+    if window is None:
+        window = log.time_span
+    t_start, t_end = window
+    if t_end <= t_start:
+        return {}
+
+    full = build_application_signatures(log, config, window=window)
+    intervals = split_intervals(t_start, t_end, parts)
+    per_interval: List[Dict[str, ApplicationSignature]] = [
+        build_application_signatures(log.window(a, b), config, window=(a, b))
+        for a, b in intervals
+    ]
+
+    verdicts: Dict[Tuple[str, SignatureKind], bool] = {}
+    for key, signature in full.items():
+        matched = [
+            m
+            for m in (
+                _match_interval_signature(signature.group.members, sigs)
+                for sigs in per_interval
+            )
+            if m is not None
+        ]
+        if len(matched) < 2:
+            continue
+        worst = {
+            SignatureKind.CG: 0.0,
+            SignatureKind.FS: 0.0,
+            SignatureKind.CI: 0.0,
+            SignatureKind.DD: 0.0,
+            SignatureKind.PC: 0.0,
+        }
+        for a, b in zip(matched, matched[1:]):
+            worst[SignatureKind.CG] = max(worst[SignatureKind.CG], a.cg.distance(b.cg))
+            worst[SignatureKind.FS] = max(worst[SignatureKind.FS], a.fs.distance(b.fs))
+            worst[SignatureKind.CI] = max(worst[SignatureKind.CI], a.ci.distance(b.ci))
+            worst[SignatureKind.DD] = max(worst[SignatureKind.DD], a.dd.distance(b.dd))
+            worst[SignatureKind.PC] = max(worst[SignatureKind.PC], a.pc.distance(b.pc))
+        verdicts[(key, SignatureKind.CG)] = worst[SignatureKind.CG] <= thresholds.cg
+        verdicts[(key, SignatureKind.FS)] = worst[SignatureKind.FS] <= thresholds.fs
+        verdicts[(key, SignatureKind.CI)] = worst[SignatureKind.CI] <= thresholds.ci
+        verdicts[(key, SignatureKind.DD)] = worst[SignatureKind.DD] <= thresholds.dd
+        verdicts[(key, SignatureKind.PC)] = worst[SignatureKind.PC] <= thresholds.pc
+    return verdicts

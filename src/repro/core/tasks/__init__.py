@@ -1,0 +1,51 @@
+"""Task signatures: mining, automata, and detection (Section III-D).
+
+An operator task (VM migration, startup, storage mount, ...) manifests as
+a flow sequence that varies run to run. FlowDiff compacts the variations
+into a finite-state automaton in three stages:
+
+1. :func:`~repro.core.tasks.mining.common_flows` — intersect the flow sets
+   of all training runs;
+2. :func:`~repro.core.tasks.mining.closed_frequent_patterns` — mine closed
+   frequent contiguous flow sub-sequences above ``min_sup``;
+3. :class:`~repro.core.tasks.automaton.TaskAutomaton` — tokenize each run
+   into pattern states (longest first, then most frequent) and connect
+   them.
+
+Detection (:class:`~repro.core.tasks.detector.TaskDetector`) then scans a
+log's flow stream, spawning a matcher whenever a flow could begin an
+automaton and tolerating interleaved foreign flows up to a 1-second bound,
+producing the *task time series* that change validation consumes.
+"""
+
+from repro.core.tasks.mining import (
+    closed_frequent_patterns,
+    common_flows,
+    filter_to_common,
+    frequent_contiguous_patterns,
+)
+from repro.core.tasks.automaton import TaskAutomaton
+from repro.core.tasks.detector import TaskDetector, TaskEvent
+from repro.core.tasks.library import TaskLibrary, TaskSignature
+from repro.core.tasks.serialize import (
+    library_from_dict,
+    library_to_dict,
+    load_library,
+    save_library,
+)
+
+__all__ = [
+    "closed_frequent_patterns",
+    "common_flows",
+    "filter_to_common",
+    "frequent_contiguous_patterns",
+    "TaskAutomaton",
+    "TaskDetector",
+    "TaskEvent",
+    "TaskLibrary",
+    "TaskSignature",
+    "library_from_dict",
+    "library_to_dict",
+    "load_library",
+    "save_library",
+]

@@ -1,0 +1,268 @@
+"""Online task detection: matching automata against a log's flow stream.
+
+Implements the detection process of Section III-D: whenever a flow matches
+the start state of a learned automaton, a matcher is spawned from that
+point; the stream then drives all live matchers in parallel. Matching is
+*flexible* — foreign flows interleave freely — but a matcher that goes
+longer than the interleaving threshold (1 second in the paper) without
+progress is terminated. Matchers reaching an accept state emit a
+:class:`TaskEvent` into the task time series.
+
+Matching a **masked** automaton against concrete traffic requires
+unification: a ``#k`` placeholder binds to the first concrete host it
+meets and must resolve to the same host for the rest of the match (and two
+placeholders may not share a host); service labels must match the known
+service mapping; a ``*`` port matches anything. This is what makes one
+VM's learned startup automaton match — or deliberately fail to match —
+another VM's startup (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.tasks.automaton import TaskAutomaton
+from repro.openflow.match import FlowKey, MaskedFlow
+
+TimedFlow = Tuple[float, FlowKey]
+Bindings = Tuple[Tuple[str, str], ...]  # placeholder -> concrete host, sorted
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One detected operator-task occurrence in the task time series.
+
+    Attributes:
+        name: the task-type label.
+        t_start: time of the first matched flow.
+        t_end: time of the accepting flow.
+        hosts: concrete hosts involved in the matched flows (placeholders
+            resolved) — what change validation intersects with a change's
+            components.
+    """
+
+    name: str
+    t_start: float
+    t_end: float
+    hosts: FrozenSet[str] = frozenset()
+
+    def covers(self, timestamp: float, slack: float = 1.0) -> bool:
+        """Whether ``timestamp`` falls within the event (plus slack)."""
+        return self.t_start - slack <= timestamp <= self.t_end + slack
+
+
+def unify_label(
+    label: Hashable,
+    key: FlowKey,
+    bindings: Dict[str, str],
+    service_names: Mapping[str, str],
+) -> Optional[Dict[str, str]]:
+    """Try to match one automaton label against a concrete flow.
+
+    Supports two label types: a raw :class:`FlowKey` (strict equality) and
+    a :class:`MaskedFlow` template with placeholder/service/wildcard
+    semantics. Returns the extended bindings on success, None on failure.
+    """
+    if isinstance(label, FlowKey):
+        return dict(bindings) if label == key else None
+    if not isinstance(label, MaskedFlow):
+        return None
+
+    new = dict(bindings)
+    for tmpl_host, concrete in ((label.src, key.src), (label.dst, key.dst)):
+        if tmpl_host.startswith("#"):
+            bound = new.get(tmpl_host)
+            if bound is None:
+                # Injectivity: one concrete host per placeholder.
+                if concrete in new.values():
+                    return None
+                new[tmpl_host] = concrete
+            elif bound != concrete:
+                return None
+        else:
+            service_label = service_names.get(concrete)
+            if tmpl_host != concrete and tmpl_host != service_label:
+                return None
+    if label.src_port != "*" and label.src_port != str(key.src_port):
+        return None
+    if label.dst_port != "*" and label.dst_port != str(key.dst_port):
+        return None
+    return new
+
+
+@dataclass(frozen=True)
+class _Config:
+    """One live matcher configuration (an NFA thread)."""
+
+    task: str
+    state: int
+    pos: int
+    bindings: Bindings
+    started_at: float
+    last_match_at: float
+    hosts: FrozenSet[str]
+
+
+class TaskDetector:
+    """Scans timed flows with a set of task automata, emitting TaskEvents.
+
+    Args:
+        automata: task name -> automaton.
+        service_names: concrete-host -> service-label mapping used during
+            masked unification.
+        interleave_threshold: maximum silence (seconds) a matcher survives
+            without advancing — the paper bounds it at 1 second.
+        max_configs: cap on simultaneous matcher threads (resource bound
+            for hostile/noisy streams).
+    """
+
+    def __init__(
+        self,
+        automata: Mapping[str, TaskAutomaton],
+        service_names: Optional[Mapping[str, str]] = None,
+        interleave_threshold: float = 1.0,
+        max_configs: int = 2000,
+    ) -> None:
+        self.automata = dict(automata)
+        self.service_names = dict(service_names or {})
+        self.interleave_threshold = interleave_threshold
+        self.max_configs = max_configs
+
+    # ------------------------------------------------------------------
+
+    def detect(self, flows: Sequence[TimedFlow]) -> List[TaskEvent]:
+        """Produce the task time series for a flow stream.
+
+        Overlapping detections of the same task are merged (the earliest
+        spanning event wins), matching the paper's one-event-per-task-run
+        time series.
+        """
+        configs: List[_Config] = []
+        events: List[TaskEvent] = []
+
+        for t, key in sorted(flows, key=lambda tf: tf[0]):
+            configs = [
+                c
+                for c in configs
+                if t - c.last_match_at <= self.interleave_threshold
+            ]
+            advanced: List[_Config] = []
+            accepted: List[_Config] = []
+            for config in configs:
+                for nxt in self._advance(config, t, key):
+                    if self._is_accepting(nxt):
+                        accepted.append(nxt)
+                    advanced.append(nxt)
+            # Spawn fresh matchers where this flow could begin a task.
+            for name, automaton in self.automata.items():
+                for sid in automaton.start_states:
+                    pattern = automaton.patterns[sid]
+                    if not pattern:
+                        continue
+                    bindings = unify_label(pattern[0], key, {}, self.service_names)
+                    if bindings is None:
+                        continue
+                    config = _Config(
+                        task=name,
+                        state=sid,
+                        pos=1,
+                        bindings=tuple(sorted(bindings.items())),
+                        started_at=t,
+                        last_match_at=t,
+                        hosts=frozenset({key.src, key.dst}),
+                    )
+                    if self._is_accepting(config):
+                        accepted.append(config)
+                    advanced.append(config)
+
+            # Noise tolerance: configurations that did not advance survive
+            # (until the interleaving threshold reaps them).
+            configs.extend(advanced)
+            configs = self._dedup(configs)[-self.max_configs :]
+
+            for config in accepted:
+                event = TaskEvent(
+                    name=config.task,
+                    t_start=config.started_at,
+                    t_end=t,
+                    hosts=config.hosts,
+                )
+                if self._is_new_event(events, event):
+                    events.append(event)
+                # Retire sibling threads of the same detection.
+                configs = [
+                    c
+                    for c in configs
+                    if not (
+                        c.task == config.task
+                        and c.started_at >= config.started_at - 1e-9
+                    )
+                ]
+        events.sort(key=lambda e: e.t_start)
+        return events
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, config: _Config, t: float, key: FlowKey) -> List[_Config]:
+        automaton = self.automata[config.task]
+        pattern = automaton.patterns[config.state]
+        bindings = dict(config.bindings)
+        out: List[_Config] = []
+        if config.pos < len(pattern):
+            new = unify_label(pattern[config.pos], key, bindings, self.service_names)
+            if new is not None:
+                out.append(
+                    replace(
+                        config,
+                        pos=config.pos + 1,
+                        bindings=tuple(sorted(new.items())),
+                        last_match_at=t,
+                        hosts=config.hosts | {key.src, key.dst},
+                    )
+                )
+        else:
+            for succ in automaton.transitions[config.state]:
+                succ_pattern = automaton.patterns[succ]
+                if not succ_pattern:
+                    continue
+                new = unify_label(succ_pattern[0], key, bindings, self.service_names)
+                if new is not None:
+                    out.append(
+                        replace(
+                            config,
+                            state=succ,
+                            pos=1,
+                            bindings=tuple(sorted(new.items())),
+                            last_match_at=t,
+                            hosts=config.hosts | {key.src, key.dst},
+                        )
+                    )
+        return out
+
+    def _is_accepting(self, config: _Config) -> bool:
+        automaton = self.automata[config.task]
+        return (
+            config.state in automaton.accept_states
+            and config.pos == len(automaton.patterns[config.state])
+        )
+
+    @staticmethod
+    def _dedup(configs: List[_Config]) -> List[_Config]:
+        seen = set()
+        out = []
+        for c in configs:
+            sig = (c.task, c.state, c.pos, c.bindings, c.started_at)
+            if sig not in seen:
+                seen.add(sig)
+                out.append(c)
+        return out
+
+    @staticmethod
+    def _is_new_event(events: List[TaskEvent], event: TaskEvent) -> bool:
+        for prior in events:
+            if prior.name == event.name and not (
+                event.t_end < prior.t_start or event.t_start > prior.t_end
+            ):
+                return False
+        return True

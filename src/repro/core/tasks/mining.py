@@ -1,0 +1,149 @@
+"""Sequential frequent-pattern mining for task-signature states.
+
+Implements the state-extraction stage of Section III-D: given the training
+runs of one task (already reduced to their common flows), find all
+*contiguous* flow sub-sequences whose support — the fraction of runs
+containing them — meets the operator's ``min_sup``, then prune to *closed*
+patterns (a pattern is dropped when a strict super-pattern has the same
+support, exactly the paper's example where ``f3 f4 f5`` subsumes ``f3``,
+``f4``, ``f5``, ``f3 f4`` and ``f4 f5``).
+
+Patterns are over hashable flow labels; the task library uses
+:class:`~repro.openflow.match.MaskedFlow` templates or raw
+:class:`~repro.openflow.match.FlowKey` 5-tuples depending on the masking
+mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set, Tuple, TypeVar
+
+Label = TypeVar("Label", bound=Hashable)
+Pattern = Tuple[Hashable, ...]
+
+
+def common_flows(runs: Sequence[Sequence[Label]]) -> Set[Label]:
+    """The flows present in **every** run: ``S(T) = ∩ S(T_i)``.
+
+    Raises:
+        ValueError: when no runs are supplied.
+    """
+    if not runs:
+        raise ValueError("need at least one training run")
+    common: Set[Label] = set(runs[0])
+    for run in runs[1:]:
+        common &= set(run)
+    return common
+
+
+def filter_to_common(
+    runs: Sequence[Sequence[Label]], common: Set[Label]
+) -> List[List[Label]]:
+    """Build ``T'_i`` from ``T_i`` by dropping non-common flows."""
+    return [[f for f in run if f in common] for run in runs]
+
+
+def _contains_contiguous(run: Sequence[Label], pattern: Pattern) -> bool:
+    """Whether ``pattern`` occurs as a contiguous sub-sequence of ``run``."""
+    n, m = len(run), len(pattern)
+    if m == 0 or m > n:
+        return False
+    first = pattern[0]
+    for i in range(n - m + 1):
+        if run[i] == first and tuple(run[i : i + m]) == pattern:
+            return True
+    return False
+
+
+def frequent_contiguous_patterns(
+    runs: Sequence[Sequence[Label]],
+    min_sup: float = 0.6,
+    max_length: int = 0,
+) -> Dict[Pattern, int]:
+    """All contiguous patterns with run-support >= ``min_sup``.
+
+    Support is counted over runs (a pattern occurring twice in one run
+    counts once), matching the paper's example where ``f3 f4 f5`` has
+    support 3 across three runs.
+
+    Args:
+        runs: the filtered runs ``T'_i``.
+        min_sup: minimum support as a fraction of the number of runs.
+        max_length: optional cap on pattern length (0 = unlimited).
+
+    Returns:
+        Mapping from pattern to its absolute support count.
+
+    Raises:
+        ValueError: if ``min_sup`` is outside (0, 1] or no runs are given.
+    """
+    if not runs:
+        raise ValueError("need at least one training run")
+    if not 0.0 < min_sup <= 1.0:
+        raise ValueError(f"min_sup must be in (0, 1], got {min_sup}")
+    threshold = min_sup * len(runs)
+
+    # Apriori over contiguous patterns: grow frequent length-k patterns by
+    # one flow; a length-k pattern can only be frequent if its length-(k-1)
+    # prefix is.
+    counts: Dict[Pattern, int] = {}
+    singles: Dict[Pattern, Set[int]] = {}
+    for idx, run in enumerate(runs):
+        for label in set(run):
+            singles.setdefault((label,), set()).add(idx)
+    frontier = {p: s for p, s in singles.items() if len(s) >= threshold}
+    for pattern, support_runs in frontier.items():
+        counts[pattern] = len(support_runs)
+
+    length = 1
+    while frontier and (max_length <= 0 or length < max_length):
+        length += 1
+        candidates: Dict[Pattern, Set[int]] = {}
+        for idx, run in enumerate(runs):
+            for i in range(len(run) - length + 1):
+                prefix = tuple(run[i : i + length - 1])
+                if prefix not in frontier:
+                    continue
+                pattern = tuple(run[i : i + length])
+                candidates.setdefault(pattern, set()).add(idx)
+        frontier = {
+            p: s for p, s in candidates.items() if len(s) >= threshold
+        }
+        for pattern, support_runs in frontier.items():
+            counts[pattern] = len(support_runs)
+    return counts
+
+
+def closed_frequent_patterns(
+    frequent: Dict[Pattern, int]
+) -> Dict[Pattern, int]:
+    """Prune non-closed patterns.
+
+    A pattern ``p1`` is pruned when some strict super-pattern ``p2``
+    (containing ``p1`` contiguously) has the same support — ``p2`` carries
+    strictly more information at no loss (Section III-D, citing the closed
+    frequent pattern literature).
+    """
+    patterns = sorted(frequent, key=len, reverse=True)
+    closed: Dict[Pattern, int] = {}
+    for p1 in patterns:
+        subsumed = any(
+            len(p2) > len(p1)
+            and frequent[p2] == frequent[p1]
+            and _contains_contiguous(p2, p1)
+            for p2 in closed
+        )
+        if not subsumed:
+            closed[p1] = frequent[p1]
+    return closed
+
+
+def mine_states(
+    runs: Sequence[Sequence[Label]],
+    min_sup: float = 0.6,
+    max_length: int = 0,
+) -> Dict[Pattern, int]:
+    """End-to-end state extraction: frequent mining plus closed pruning."""
+    return closed_frequent_patterns(
+        frequent_contiguous_patterns(runs, min_sup, max_length)
+    )

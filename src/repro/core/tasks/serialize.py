@@ -1,0 +1,147 @@
+"""Task-library persistence: learned automata survive across sessions.
+
+Learning task signatures needs dozens of captured runs per task
+(Section V-B2); operators do that once, not per analysis session. This
+module serializes a :class:`~repro.core.tasks.library.TaskLibrary` —
+every automaton's states, transitions, and endpoint sets, plus the
+service-name mapping the matcher needs — to JSON and back, such that a
+reloaded library detects identically.
+
+Labels serialize by type: :class:`~repro.openflow.match.MaskedFlow`
+templates as tagged dicts, raw :class:`~repro.openflow.match.FlowKey`
+labels likewise, so both masked and unmasked automata round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core.tasks.automaton import TaskAutomaton
+from repro.core.tasks.library import TaskLibrary, TaskSignature
+from repro.openflow.match import FlowKey, MaskedFlow
+
+FORMAT_VERSION = 1
+
+
+def _label_to_json(label: Any) -> Dict[str, Any]:
+    if isinstance(label, MaskedFlow):
+        return {
+            "t": "masked",
+            "src": label.src,
+            "sp": label.src_port,
+            "dst": label.dst,
+            "dp": label.dst_port,
+        }
+    if isinstance(label, FlowKey):
+        return {
+            "t": "key",
+            "src": label.src,
+            "sp": label.src_port,
+            "dst": label.dst,
+            "dp": label.dst_port,
+            "proto": label.proto,
+        }
+    raise TypeError(f"cannot serialize task label of type {type(label).__name__}")
+
+
+def _label_from_json(data: Dict[str, Any]) -> Any:
+    tag = data.get("t")
+    if tag == "masked":
+        return MaskedFlow(
+            src=data["src"], src_port=data["sp"], dst=data["dst"], dst_port=data["dp"]
+        )
+    if tag == "key":
+        return FlowKey(
+            src=data["src"],
+            dst=data["dst"],
+            src_port=data["sp"],
+            dst_port=data["dp"],
+            proto=data.get("proto", "tcp"),
+        )
+    raise ValueError(f"unknown task label tag {tag!r}")
+
+
+def automaton_to_dict(automaton: TaskAutomaton) -> Dict[str, Any]:
+    """Encode one automaton."""
+    return {
+        "patterns": [
+            [_label_to_json(label) for label in pattern]
+            for pattern in automaton.patterns
+        ],
+        "transitions": [sorted(t) for t in automaton.transitions],
+        "start_states": sorted(automaton.start_states),
+        "accept_states": sorted(automaton.accept_states),
+        "support": list(automaton.support),
+    }
+
+
+def automaton_from_dict(data: Dict[str, Any]) -> TaskAutomaton:
+    """Decode one automaton."""
+    return TaskAutomaton(
+        patterns=tuple(
+            tuple(_label_from_json(l) for l in pattern)
+            for pattern in data["patterns"]
+        ),
+        transitions=tuple(frozenset(t) for t in data["transitions"]),
+        start_states=frozenset(data["start_states"]),
+        accept_states=frozenset(data["accept_states"]),
+        support=tuple(data["support"]),
+    )
+
+
+def library_to_dict(library: TaskLibrary) -> Dict[str, Any]:
+    """Encode a full task library (signatures + matcher configuration)."""
+    return {
+        "version": FORMAT_VERSION,
+        "service_names": dict(library.service_names),
+        "interleave_threshold": library.interleave_threshold,
+        "signatures": {
+            name: {
+                "automaton": automaton_to_dict(sig.automaton),
+                "masked": sig.masked,
+                "n_runs": sig.n_runs,
+                "min_sup": sig.min_sup,
+            }
+            for name, sig in library.signatures.items()
+        },
+    }
+
+
+def library_from_dict(data: Dict[str, Any]) -> TaskLibrary:
+    """Decode a task library.
+
+    Raises:
+        ValueError: on an unsupported format version.
+    """
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported task-library format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    library = TaskLibrary(
+        service_names=data.get("service_names", {}),
+        interleave_threshold=data.get("interleave_threshold", 1.0),
+    )
+    for name, sig in data.get("signatures", {}).items():
+        library.signatures[name] = TaskSignature(
+            name=name,
+            automaton=automaton_from_dict(sig["automaton"]),
+            masked=sig.get("masked", True),
+            n_runs=sig.get("n_runs", 0),
+            min_sup=sig.get("min_sup", 0.6),
+        )
+    return library
+
+
+def save_library(library: TaskLibrary, path: str) -> None:
+    """Write a task library to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(library_to_dict(library), fh)
+
+
+def load_library(path: str) -> TaskLibrary:
+    """Read a task library from a JSON file."""
+    with open(path) as fh:
+        return library_from_dict(json.load(fh))

@@ -1,0 +1,54 @@
+"""Operational-problem injectors (the paper's Table I fault matrix).
+
+Each fault declares the signature components it is expected to perturb and
+the problem class an operator should infer, so the Table I benchmark can
+assert FlowDiff's detections against ground truth:
+
+====  =================================  ==================  =======================
+ID    Fault                              Changed signatures  Inferred problem
+====  =================================  ==================  =======================
+1     Logging misconfiguration           DD                  host/application problem
+2     Link loss (tc)                     DD, FS              host network / congestion
+3     High CPU background process        DD                  host/application problem
+4     Application crash                  CG, CI              application failure
+5     Host/VM shutdown                   CG, CI              host failure
+6     Firewall port block                CG, CI              host/application problem
+7     Background traffic (iperf)         ISL, FS, PC, DD     network congestion
+====  =================================  ==================  =======================
+
+Plus the wider problem classes of Figure 2(b): switch failure, controller
+overload/failure, and unauthorized access.
+"""
+
+from repro.faults.base import Fault
+from repro.faults.host import (
+    AppCrash,
+    FirewallBlock,
+    HighCPU,
+    HostShutdown,
+    LoggingMisconfig,
+)
+from repro.faults.network import (
+    BackgroundTraffic,
+    LinkFailure,
+    LinkLoss,
+    SwitchFailure,
+)
+from repro.faults.controller import ControllerFailure, ControllerOverload
+from repro.faults.unauthorized import UnauthorizedAccess
+
+__all__ = [
+    "Fault",
+    "AppCrash",
+    "FirewallBlock",
+    "HighCPU",
+    "HostShutdown",
+    "LoggingMisconfig",
+    "BackgroundTraffic",
+    "LinkFailure",
+    "LinkLoss",
+    "SwitchFailure",
+    "ControllerFailure",
+    "ControllerOverload",
+    "UnauthorizedAccess",
+]

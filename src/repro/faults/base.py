@@ -1,0 +1,45 @@
+"""The fault abstraction: apply/revert hooks plus expected-impact metadata."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Optional
+
+from repro.apps.servers import ServerFarm
+from repro.netsim.network import Network
+
+
+class Fault(ABC):
+    """An injectable operational problem.
+
+    Attributes:
+        name: human-readable fault label.
+        expected_impacts: signature kinds (``"CG"``, ``"DD"``, ...) the
+            paper's Table I / Figure 2(b) says this fault perturbs; used as
+            ground truth by the effectiveness benchmarks.
+        problem_class: the problem-type label the dependency-matrix
+            classifier should infer.
+    """
+
+    name: str = "fault"
+    expected_impacts: FrozenSet[str] = frozenset()
+    problem_class: str = "unknown"
+
+    @abstractmethod
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        """Activate the fault now."""
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        """Deactivate the fault (default: irreversible)."""
+
+    def inject_at(
+        self,
+        network: Network,
+        at: float,
+        farm: Optional[ServerFarm] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        """Schedule activation at ``at`` and optional reversion at ``until``."""
+        network.sim.schedule_at(at, lambda: self.apply(network, farm))
+        if until is not None:
+            network.sim.schedule_at(until, lambda: self.revert(network, farm))

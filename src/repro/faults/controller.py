@@ -1,0 +1,53 @@
+"""Control-plane faults: controller overload and failure (Figure 2(b))."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.servers import ServerFarm
+from repro.faults.base import Fault
+from repro.netsim.network import Network
+
+
+class ControllerOverload(Fault):
+    """The controller's service time inflates (e.g. CPU contention, load).
+
+    Every new flow's setup stalls, so the controller-response-time (CRT)
+    signature shifts while data-plane signatures stay put — the separation
+    that lets FlowDiff localize the problem to the control plane.
+    """
+
+    name = "controller_overload"
+    expected_impacts = frozenset({"CRT"})
+    problem_class = "controller_overhead"
+
+    def __init__(self, factor: float = 10.0) -> None:
+        self.factor = factor
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        for controller in network.controllers:
+            controller.overload_factor = self.factor
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        for controller in network.controllers:
+            controller.overload_factor = 1.0
+
+
+class ControllerFailure(Fault):
+    """The controller crashes: table misses go unanswered.
+
+    New flows black-hole and the control-message stream dries up — the
+    controller-failure problem class.
+    """
+
+    name = "controller_failure"
+    expected_impacts = frozenset({"CRT", "FS", "CG"})
+    problem_class = "controller_failure"
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        for controller in network.controllers:
+            controller.fail()
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        for controller in network.controllers:
+            controller.recover()

@@ -1,0 +1,114 @@
+"""Host- and application-level faults (Table I, problems 1, 3-6)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.servers import ServerFarm
+from repro.faults.base import Fault
+from repro.netsim.network import Network
+
+
+class LoggingMisconfig(Fault):
+    """Problem 1: verbose (INFO) logging enabled on an application server.
+
+    Adds a fixed per-request overhead, shifting the delay-distribution
+    signature at that server without touching connectivity or volume.
+    """
+
+    name = "logging_misconfig"
+    expected_impacts = frozenset({"DD"})
+    problem_class = "host_or_app_problem"
+
+    def __init__(self, server: str, overhead: float = 0.04) -> None:
+        self.server = server
+        self.overhead = overhead
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        if farm is None:
+            raise ValueError("LoggingMisconfig needs the server farm")
+        farm.enable_logging_fault(self.server, self.overhead)
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        if farm is not None:
+            farm.behavior(self.server).logging_overhead = 0.0
+
+
+class HighCPU(Fault):
+    """Problem 3: a background process contends for CPU on a server."""
+
+    name = "high_cpu"
+    expected_impacts = frozenset({"DD"})
+    problem_class = "host_or_app_problem"
+
+    def __init__(self, server: str, factor: float = 3.0) -> None:
+        self.server = server
+        self.factor = factor
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        if farm is None:
+            raise ValueError("HighCPU needs the server farm")
+        farm.enable_cpu_fault(self.server, self.factor)
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        if farm is not None:
+            farm.behavior(self.server).cpu_factor = 1.0
+
+
+class AppCrash(Fault):
+    """Problem 4: the application process dies; the host stays up.
+
+    Requests reaching the server go unanswered and downstream flows stop,
+    removing the server's outgoing edges from the connectivity graph.
+    """
+
+    name = "app_crash"
+    expected_impacts = frozenset({"CG", "CI"})
+    problem_class = "application_failure"
+
+    def __init__(self, server: str) -> None:
+        self.server = server
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        if farm is None:
+            raise ValueError("AppCrash needs the server farm")
+        farm.crash(self.server)
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        if farm is not None:
+            farm.behavior(self.server).crashed = False
+
+
+class HostShutdown(Fault):
+    """Problem 5: a host or VM powers off entirely."""
+
+    name = "host_shutdown"
+    expected_impacts = frozenset({"CG", "CI"})
+    problem_class = "host_failure"
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        network.shutdown_host(self.host)
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        network.boot_host(self.host)
+
+
+class FirewallBlock(Fault):
+    """Problem 6: a firewall rule blocks a service port on a host."""
+
+    name = "firewall_block"
+    expected_impacts = frozenset({"CG", "CI"})
+    problem_class = "host_or_app_problem"
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        network.block_port(self.host, self.port)
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        network.unblock_port(self.host, self.port)

@@ -1,0 +1,125 @@
+"""Network-layer faults: loss, congestion, link and switch failure."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.apps.servers import ServerFarm
+from repro.faults.base import Fault
+from repro.netsim.network import FlowRequest, Network
+from repro.openflow.match import FlowKey
+
+
+class LinkLoss(Fault):
+    """Problem 2: packet loss on specific links (the paper's ``tc`` fault).
+
+    Retransmissions inflate flow byte counts (FS) and delay dependent
+    flows (DD) — Figure 9's mechanism.
+    """
+
+    name = "link_loss"
+    expected_impacts = frozenset({"DD", "FS"})
+    problem_class = "congestion"
+
+    def __init__(self, links: List[Tuple[str, str]], loss_rate: float = 0.01) -> None:
+        self.links = list(links)
+        self.loss_rate = loss_rate
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        for a, b in self.links:
+            network.set_link_loss(a, b, self.loss_rate)
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        for a, b in self.links:
+            network.set_link_loss(a, b, 0.0)
+
+
+class BackgroundTraffic(Fault):
+    """Problem 7: iperf-style bulk transfers congest shared links.
+
+    Raises link utilization so queueing delay inflates inter-switch latency
+    (ISL) and skews DD/PC/FS for the applications sharing the path.
+    """
+
+    name = "background_traffic"
+    expected_impacts = frozenset({"ISL", "FS", "PC", "DD"})
+    problem_class = "congestion"
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        rate_bytes: float = 100_000_000.0,
+        burst_period: float = 0.05,
+        duration: float = 10.0,
+        seed: int = 23,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.rate_bytes = rate_bytes
+        self.burst_period = burst_period
+        self.duration = duration
+        self.rng = random.Random(seed)
+        self._active = False
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        self._active = True
+        stop_at = network.sim.now + self.duration
+        burst_bytes = int(self.rate_bytes * self.burst_period)
+
+        def burst() -> None:
+            if not self._active or network.sim.now >= stop_at:
+                return
+            key = FlowKey(
+                src=self.src,
+                dst=self.dst,
+                src_port=self.rng.randint(32768, 60999),
+                dst_port=5001,
+            )
+            network.send_flow(
+                FlowRequest(
+                    key=key, size_bytes=burst_bytes, duration=self.burst_period
+                )
+            )
+            network.sim.schedule_in(self.burst_period, burst)
+
+        burst()
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        self._active = False
+
+
+class LinkFailure(Fault):
+    """A severed link: reroute if possible, else disconnectivity."""
+
+    name = "link_failure"
+    expected_impacts = frozenset({"PT", "ISL"})
+    problem_class = "network_disconnectivity"
+
+    def __init__(self, a: str, b: str) -> None:
+        self.a = a
+        self.b = b
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        network.fail_link(self.a, self.b)
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        network.recover_link(self.a, self.b)
+
+
+class SwitchFailure(Fault):
+    """A dead switch: flows reroute (new physical paths) or black-hole."""
+
+    name = "switch_failure"
+    expected_impacts = frozenset({"PT"})
+    problem_class = "switch_failure"
+
+    def __init__(self, switch: str) -> None:
+        self.switch = switch
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        network.fail_switch(self.switch)
+
+    def revert(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        network.recover_switch(self.switch)

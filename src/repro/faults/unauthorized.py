@@ -1,0 +1,60 @@
+"""Unauthorized access: unexpected flows from an intruder host.
+
+FlowDiff's connectivity-graph diff flags edges that exist in the current
+log but not in the baseline and that no operator task explains — the
+"unauthorized access" problem class of Figure 2(b). This injector models a
+host probing or exfiltrating from application servers it has no business
+talking to.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.apps.servers import ServerFarm
+from repro.faults.base import Fault
+from repro.netsim.network import FlowRequest, Network
+from repro.openflow.match import FlowKey
+
+
+class UnauthorizedAccess(Fault):
+    """An intruder opens flows to targets it never contacted in the baseline."""
+
+    name = "unauthorized_access"
+    expected_impacts = frozenset({"CG", "CI", "FS"})
+    problem_class = "unauthorized_access"
+
+    def __init__(
+        self,
+        intruder: str,
+        targets: List[str],
+        dst_port: int = 22,
+        n_flows: int = 20,
+        period: float = 0.2,
+        flow_size: int = 2000,
+        seed: int = 31,
+    ) -> None:
+        self.intruder = intruder
+        self.targets = list(targets)
+        self.dst_port = dst_port
+        self.n_flows = n_flows
+        self.period = period
+        self.flow_size = flow_size
+        self.rng = random.Random(seed)
+
+    def apply(self, network: Network, farm: Optional[ServerFarm] = None) -> None:
+        for i in range(self.n_flows):
+            target = self.rng.choice(self.targets)
+            key = FlowKey(
+                src=self.intruder,
+                dst=target,
+                src_port=self.rng.randint(32768, 60999),
+                dst_port=self.dst_port,
+            )
+            network.sim.schedule_in(
+                i * self.period,
+                lambda k=key: network.send_flow(
+                    FlowRequest(key=k, size_bytes=self.flow_size, duration=0.01)
+                ),
+            )

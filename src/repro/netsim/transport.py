@@ -1,0 +1,120 @@
+"""Flow-level transport effects: loss, retransmission, and delay inflation.
+
+The paper's Figure 9 experiment injects 1% packet loss with ``tc`` and
+observes two effects in the control-plane measurements:
+
+* the **byte count** of flows traversing the lossy link grows (each lost
+  packet is retransmitted, and the switch counters see the extra bytes);
+* the **delay** between dependent flows grows (retransmission timeouts
+  stall request completion, postponing the server's outgoing flow).
+
+This module reproduces those mechanics at flow granularity: given the loss
+probability accumulated along a path, it samples how many of the flow's
+packets needed retransmission and converts that into observed-byte and
+added-delay figures. It deliberately models timeout-driven recovery (RTO)
+rather than fast retransmit, because the request flows in the paper's
+three-tier apps are short (a handful of packets), where RTO dominates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class TransportOutcome:
+    """What the network observed for one flow after transport effects.
+
+    Attributes:
+        delivered: False when the path loss was so severe the flow aborted
+            (every packet lost ``max_attempts`` times).
+        observed_bytes: bytes counted by switches, including retransmissions.
+        extra_delay: completion delay added by retransmission timeouts, in
+            seconds.
+        retransmissions: number of retransmitted packets.
+    """
+
+    delivered: bool
+    observed_bytes: int
+    extra_delay: float
+    retransmissions: int
+
+
+@dataclass
+class TransportModel:
+    """Samples retransmission effects for flows crossing lossy paths.
+
+    Attributes:
+        rto: retransmission timeout in seconds (TCP's conservative minimum
+            RTO of 200 ms by default, matching the scale of the delay shift
+            in Figure 9(b)).
+        mss: maximum segment size in bytes, used to infer the packet count
+            of a flow from its byte size.
+        max_attempts: per-packet transmission attempts before the flow is
+            declared undeliverable.
+    """
+
+    rto: float = 0.2
+    mss: int = 1460
+    max_attempts: int = 6
+
+    def packets_for(self, nbytes: int) -> int:
+        """Number of segments a flow of ``nbytes`` occupies (at least 1)."""
+        return max(1, -(-nbytes // self.mss))
+
+    @staticmethod
+    def path_loss(loss_rates: Sequence[float]) -> float:
+        """Combined per-packet loss probability across path links."""
+        survive = 1.0
+        for p in loss_rates:
+            survive *= 1.0 - min(max(p, 0.0), 1.0)
+        return 1.0 - survive
+
+    def apply(
+        self,
+        nbytes: int,
+        loss_rates: Sequence[float],
+        rng: random.Random,
+    ) -> TransportOutcome:
+        """Sample the transport outcome of one flow.
+
+        Each segment is transmitted until it survives the path loss
+        probability or ``max_attempts`` is exhausted. Retransmitted bytes
+        inflate the observed byte count; each retransmission round adds an
+        RTO's worth of delay (rounds overlap across segments only weakly in
+        short flows, so delays add — a deliberate, conservative model).
+        """
+        loss = self.path_loss(loss_rates)
+        packets = self.packets_for(nbytes)
+        if loss <= 0.0:
+            return TransportOutcome(
+                delivered=True,
+                observed_bytes=nbytes,
+                extra_delay=0.0,
+                retransmissions=0,
+            )
+        seg_bytes = nbytes / packets
+        retx = 0
+        extra_delay = 0.0
+        delivered = True
+        for _ in range(packets):
+            attempts = 1
+            while rng.random() < loss:
+                attempts += 1
+                if attempts > self.max_attempts:
+                    delivered = False
+                    break
+                retx += 1
+                # Exponential backoff: 1x, 2x, 4x ... the base RTO.
+                extra_delay += self.rto * (2 ** (attempts - 2))
+            if not delivered:
+                break
+        observed = int(round(nbytes + retx * seg_bytes))
+        return TransportOutcome(
+            delivered=delivered,
+            observed_bytes=observed,
+            extra_delay=extra_delay,
+            retransmissions=retx,
+        )

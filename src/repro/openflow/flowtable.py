@@ -1,0 +1,161 @@
+"""Switch flow tables: entries, priorities, and soft/hard timeouts.
+
+Each flow entry carries two timeouts (Section III-A): a *soft* (idle)
+timeout counted from the last matched packet, and a *hard* timeout counted
+from the first matched packet. When an entry expires the switch emits a
+``FlowRemoved`` with the matched byte/packet totals and the entry duration.
+Tuning these timeouts is the operator's lever for balancing control-channel
+load against measurement visibility, which the ablation benchmarks explore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.openflow.match import FlowKey, Match
+from repro.openflow.messages import FlowRemovedReason
+
+
+@dataclass
+class FlowEntry:
+    """A single flow-table entry with counters and timeout bookkeeping.
+
+    Attributes:
+        match: the match structure (microflow or wildcard).
+        out_port: the forwarding action's output port.
+        priority: higher wins on overlapping matches; ties broken by
+            match specificity, then recency.
+        idle_timeout: soft timeout in seconds; 0 disables idle expiry.
+        hard_timeout: hard timeout in seconds; 0 disables hard expiry.
+        created_at: installation time.
+        send_flow_removed: whether expiry emits a ``FlowRemoved``
+            (Section VI notes entries may be set up not to).
+    """
+
+    match: Match
+    out_port: int
+    priority: int = 0
+    idle_timeout: float = 5.0
+    hard_timeout: float = 0.0
+    created_at: float = 0.0
+    send_flow_removed: bool = True
+    byte_count: int = 0
+    packet_count: int = 0
+    last_matched_at: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.last_matched_at < self.created_at:
+            self.last_matched_at = self.created_at
+
+    def record_match(self, now: float, nbytes: int, npackets: int = 1) -> None:
+        """Update counters and the idle-timeout clock for a matched packet."""
+        self.byte_count += nbytes
+        self.packet_count += npackets
+        if now > self.last_matched_at:
+            self.last_matched_at = now
+
+    def expiry_time(self) -> float:
+        """The earliest time this entry can expire, given current counters.
+
+        Returns ``inf`` when both timeouts are disabled.
+        """
+        candidates = []
+        if self.idle_timeout > 0:
+            candidates.append(self.last_matched_at + self.idle_timeout)
+        if self.hard_timeout > 0:
+            candidates.append(self.created_at + self.hard_timeout)
+        return min(candidates) if candidates else float("inf")
+
+    def expired_reason(self, now: float) -> Optional[FlowRemovedReason]:
+        """Return the expiry reason if the entry has expired by ``now``."""
+        if self.hard_timeout > 0 and now >= self.created_at + self.hard_timeout:
+            return FlowRemovedReason.HARD_TIMEOUT
+        if self.idle_timeout > 0 and now >= self.last_matched_at + self.idle_timeout:
+            return FlowRemovedReason.IDLE_TIMEOUT
+        return None
+
+    @property
+    def duration(self) -> float:
+        """Active lifetime of the entry so far (last match - creation)."""
+        return max(0.0, self.last_matched_at - self.created_at)
+
+
+class FlowTable:
+    """A priority-ordered flow table with lazy and eager expiry.
+
+    Lookups check expiry lazily (an expired entry never matches); the
+    network simulator additionally calls :meth:`collect_expired` on timer
+    events so that ``FlowRemoved`` messages fire close to their true expiry
+    times rather than on the next lookup.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[FlowEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def install(self, entry: FlowEntry) -> None:
+        """Add an entry; an identical match at equal priority is replaced."""
+        self._entries = [
+            e
+            for e in self._entries
+            if not (e.match == entry.match and e.priority == entry.priority)
+        ]
+        self._entries.append(entry)
+
+    def delete(self, match: Match) -> List[FlowEntry]:
+        """Remove and return all entries whose match equals ``match``."""
+        removed = [e for e in self._entries if e.match == match]
+        self._entries = [e for e in self._entries if e.match != match]
+        return removed
+
+    def lookup(self, key: FlowKey, now: float) -> Optional[FlowEntry]:
+        """Return the best live entry matching ``key``, or None on a miss.
+
+        "Best" means highest priority, then most specific match, then most
+        recently installed — the standard OpenFlow resolution order.
+        Expired entries are skipped (but not removed; see
+        :meth:`collect_expired`).
+        """
+        best: Optional[Tuple[int, int, float, FlowEntry]] = None
+        for entry in self._entries:
+            if entry.expired_reason(now) is not None:
+                continue
+            if not entry.match.matches(key):
+                continue
+            rank = (entry.priority, entry.match.specificity, entry.created_at, entry)
+            if best is None or rank[:3] > best[:3]:
+                best = rank
+        return best[3] if best else None
+
+    def collect_expired(
+        self, now: float
+    ) -> List[Tuple[FlowEntry, FlowRemovedReason]]:
+        """Remove and return every entry expired by ``now`` with its reason."""
+        expired: List[Tuple[FlowEntry, FlowRemovedReason]] = []
+        live: List[FlowEntry] = []
+        for entry in self._entries:
+            reason = entry.expired_reason(now)
+            if reason is None:
+                live.append(entry)
+            else:
+                expired.append((entry, reason))
+        self._entries = live
+        return expired
+
+    def next_expiry(self) -> float:
+        """The earliest expiry time across live entries (``inf`` if none)."""
+        return min((e.expiry_time() for e in self._entries), default=float("inf"))
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate table counters, handy for scalability experiments."""
+        return {
+            "entries": len(self._entries),
+            "bytes": sum(e.byte_count for e in self._entries),
+            "packets": sum(e.packet_count for e in self._entries),
+        }

@@ -1,0 +1,121 @@
+"""The controller log: FlowDiff's sole measurement artifact.
+
+A :class:`ControllerLog` is an append-ordered collection of timestamped
+control messages (Section III-A). FlowDiff never inspects data-plane
+payloads; every signature is derived from a window of this log. The class
+therefore provides the windowing and type filtering the modeling phase
+needs, plus (de)serialization so logs can be stored and replayed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Type, TypeVar
+
+from repro.openflow.messages import (
+    ControlMessage,
+    FlowMod,
+    FlowRemoved,
+    PacketIn,
+    PacketOut,
+)
+
+M = TypeVar("M", bound=ControlMessage)
+
+
+class ControllerLog:
+    """A time-ordered log of control messages captured at the controller.
+
+    Messages may be appended slightly out of order (e.g. when several
+    simulated switches report within the same scheduler step); the log keeps
+    itself sorted by ``(timestamp, arrival sequence)`` so window queries are
+    binary searches.
+    """
+
+    def __init__(self, messages: Optional[Iterable[ControlMessage]] = None) -> None:
+        self._messages: List[Tuple[float, int, ControlMessage]] = []
+        self._seq = 0
+        for msg in messages or ():
+            self.append(msg)
+
+    def append(self, message: ControlMessage) -> None:
+        """Record a control message (stable-ordered by timestamp)."""
+        item = (message.timestamp, self._seq, message)
+        self._seq += 1
+        if self._messages and item[:2] < self._messages[-1][:2]:
+            bisect.insort(self._messages, item)
+        else:
+            self._messages.append(item)
+
+    def extend(self, messages: Iterable[ControlMessage]) -> None:
+        """Record several control messages."""
+        for message in messages:
+            self.append(message)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[ControlMessage]:
+        return (msg for _, _, msg in self._messages)
+
+    @property
+    def time_span(self) -> Tuple[float, float]:
+        """``(first, last)`` message timestamps; ``(0.0, 0.0)`` when empty."""
+        if not self._messages:
+            return 0.0, 0.0
+        return self._messages[0][0], self._messages[-1][0]
+
+    def window(self, t_start: float, t_end: float) -> "ControllerLog":
+        """Return a sub-log of messages with ``t_start <= ts < t_end``.
+
+        This is the primitive behind the paper's L1/L2 comparison: L1 and L2
+        are two windows of the same underlying capture (or two captures).
+        """
+        lo = bisect.bisect_left(self._messages, (t_start, -1, None))  # type: ignore[list-item]
+        hi = bisect.bisect_left(self._messages, (t_end, -1, None))  # type: ignore[list-item]
+        sub = ControllerLog()
+        for ts, _, msg in self._messages[lo:hi]:
+            sub.append(msg)
+        return sub
+
+    def of_type(self, message_type: Type[M]) -> List[M]:
+        """Return all messages of exactly the given type, in time order."""
+        return [msg for _, _, msg in self._messages if type(msg) is message_type]
+
+    def packet_ins(self) -> List[PacketIn]:
+        """All ``PacketIn`` messages, the richest signal FlowDiff mines."""
+        return self.of_type(PacketIn)
+
+    def flow_mods(self) -> List[FlowMod]:
+        """All ``FlowMod`` messages."""
+        return self.of_type(FlowMod)
+
+    def flow_removed(self) -> List[FlowRemoved]:
+        """All ``FlowRemoved`` messages."""
+        return self.of_type(FlowRemoved)
+
+    def packet_outs(self) -> List[PacketOut]:
+        """All ``PacketOut`` messages."""
+        return self.of_type(PacketOut)
+
+    def filter(self, predicate: Callable[[ControlMessage], bool]) -> "ControllerLog":
+        """Return a sub-log of messages satisfying ``predicate``."""
+        sub = ControllerLog()
+        for _, _, msg in self._messages:
+            if predicate(msg):
+                sub.append(msg)
+        return sub
+
+    def merged_with(self, other: "ControllerLog") -> "ControllerLog":
+        """Combine two captures (e.g. from a distributed controller pair).
+
+        Section VI notes that distributing the controller requires
+        synchronizing captured information across controllers; this is that
+        synchronization for offline logs.
+        """
+        merged = ControllerLog()
+        for msg in self:
+            merged.append(msg)
+        for msg in other:
+            merged.append(msg)
+        return merged

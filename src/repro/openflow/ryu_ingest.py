@@ -1,0 +1,168 @@
+"""Ingest Ryu-style OpenFlow event dumps into a :class:`ControllerLog`.
+
+FlowDiff's natural real-world deployment captures control traffic with a
+small Ryu (or POX/NOX) app on a Mininet or hardware OpenFlow network. A
+typical capture app serializes each ``EventOFPPacketIn`` /
+``EventOFPFlowRemoved`` as one JSON object per line, in the shape Ryu's
+``ofctl`` utilities use for matches::
+
+    {"event": "packet_in", "time": 12.345, "dpid": 1,
+     "in_port": 3, "buffer_id": 256,
+     "match": {"ipv4_src": "10.0.0.1", "ipv4_dst": "10.0.0.2",
+               "tcp_src": 43210, "tcp_dst": 80, "ip_proto": 6}}
+
+    {"event": "flow_removed", "time": 19.001, "dpid": 1,
+     "duration_sec": 5, "duration_nsec": 120000000,
+     "byte_count": 1234, "packet_count": 3, "reason": 0,
+     "match": {...}}
+
+    {"event": "flow_mod", "time": 12.347, "dpid": 1, "out_port": 2,
+     "idle_timeout": 5, "hard_timeout": 0, "priority": 1,
+     "match": {...}}
+
+This module converts such dumps. Unknown event types are skipped (Ryu
+apps log many events FlowDiff does not need); malformed lines raise with
+their line number so broken captures fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Optional
+
+from repro.openflow.log import ControllerLog
+from repro.openflow.match import FlowKey, Match
+from repro.openflow.messages import (
+    FlowMod,
+    FlowRemoved,
+    FlowRemovedReason,
+    PacketIn,
+)
+
+#: OFPRR_* reason codes of OpenFlow 1.0/1.3.
+_REASONS = {
+    0: FlowRemovedReason.IDLE_TIMEOUT,
+    1: FlowRemovedReason.HARD_TIMEOUT,
+    2: FlowRemovedReason.DELETE,
+}
+
+#: ip_proto values to protocol names.
+_PROTOS = {6: "tcp", 17: "udp"}
+
+
+def _ports_from_match(match: Dict[str, Any]) -> tuple:
+    """Extract (src_port, dst_port, proto) from an OXM-style match dict."""
+    proto = _PROTOS.get(match.get("ip_proto", 6), "tcp")
+    if proto == "udp":
+        return match.get("udp_src", 0), match.get("udp_dst", 0), proto
+    return match.get("tcp_src", 0), match.get("tcp_dst", 0), proto
+
+
+def _flow_key(match: Dict[str, Any]) -> Optional[FlowKey]:
+    src = match.get("ipv4_src") or match.get("eth_src")
+    dst = match.get("ipv4_dst") or match.get("eth_dst")
+    if src is None or dst is None:
+        return None
+    sport, dport, proto = _ports_from_match(match)
+    return FlowKey(src=str(src), dst=str(dst), src_port=sport, dst_port=dport, proto=proto)
+
+
+def _match_struct(match: Dict[str, Any]) -> Match:
+    sport, dport, proto = _ports_from_match(match)
+    return Match(
+        src=match.get("ipv4_src"),
+        dst=match.get("ipv4_dst"),
+        src_port=sport or None,
+        dst_port=dport or None,
+        proto=proto if ("ip_proto" in match) else None,
+    )
+
+
+def _dpid(raw: Any) -> str:
+    """Ryu dumps dpids as integers; FlowDiff uses opaque strings."""
+    if isinstance(raw, int):
+        return f"dpid:{raw:016x}"
+    return str(raw)
+
+
+def event_to_message(data: Dict[str, Any]):
+    """Convert one Ryu event dict to a control message (or None to skip).
+
+    Raises:
+        ValueError: when a known event type is missing required fields.
+    """
+    event = data.get("event")
+    if event not in ("packet_in", "flow_removed", "flow_mod"):
+        return None
+    try:
+        ts = float(data["time"])
+        dpid = _dpid(data["dpid"])
+        match = data.get("match", {})
+    except KeyError as exc:
+        raise ValueError(f"{event} event missing field {exc}") from exc
+
+    if event == "packet_in":
+        flow = _flow_key(match)
+        if flow is None:
+            return None  # non-IP packet (ARP, LLDP, ...)
+        return PacketIn(
+            timestamp=ts,
+            dpid=dpid,
+            flow=flow,
+            in_port=int(data.get("in_port", 0)),
+            buffer_id=int(data.get("buffer_id", 0)),
+        )
+    if event == "flow_mod":
+        return FlowMod(
+            timestamp=ts,
+            dpid=dpid,
+            match=_match_struct(match),
+            out_port=int(data.get("out_port", 0)),
+            idle_timeout=float(data.get("idle_timeout", 0)),
+            hard_timeout=float(data.get("hard_timeout", 0)),
+            priority=int(data.get("priority", 0)),
+        )
+    # flow_removed
+    duration = float(data.get("duration_sec", 0)) + float(
+        data.get("duration_nsec", 0)
+    ) / 1e9
+    return FlowRemoved(
+        timestamp=ts,
+        dpid=dpid,
+        match=_match_struct(match),
+        duration=duration,
+        byte_count=int(data.get("byte_count", 0)),
+        packet_count=int(data.get("packet_count", 0)),
+        reason=_REASONS.get(int(data.get("reason", 0)), FlowRemovedReason.IDLE_TIMEOUT),
+    )
+
+
+def load_ryu_log(fh: IO[str]) -> ControllerLog:
+    """Parse a Ryu JSONL capture stream.
+
+    Raises:
+        ValueError: on malformed JSON or incomplete known events, with the
+            offending line number.
+    """
+    log = ControllerLog()
+    for line_no, line in enumerate(fh, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {line_no}: invalid JSON ({exc})") from exc
+        try:
+            message = event_to_message(data)
+        except ValueError as exc:
+            raise ValueError(f"line {line_no}: {exc}") from exc
+        if message is not None:
+            log.append(message)
+    return log
+
+
+def read_ryu_log(path: str) -> ControllerLog:
+    """Load a Ryu JSONL capture file."""
+    with open(path) as fh:
+        return load_ryu_log(fh)

@@ -1,0 +1,37 @@
+"""Operator tasks: the planned changes FlowDiff must recognize, not flag.
+
+Task signatures exist because valid operational work (VM migration, data
+backup, storage mounts) changes application and infrastructure signatures
+in ways that are *not* problems (Section III-D). Each task here can both
+
+* **run** against a simulated network — injecting its characteristic flow
+  sequence and applying its side effects (a migration re-homes the VM, a
+  stop powers it off), and
+* **emit** its canonical flow sequence for training task automata.
+"""
+
+from repro.ops.schedule import MaintenanceWindow, Reconciliation, ScheduledTask
+from repro.ops.tasks import (
+    ACLUpdateTask,
+    MountNFSTask,
+    OperatorTask,
+    UnmountNFSTask,
+    VLANUpdateTask,
+    VMMigrationTask,
+    VMStartupTask,
+    VMStopTask,
+)
+
+__all__ = [
+    "MaintenanceWindow",
+    "Reconciliation",
+    "ScheduledTask",
+    "ACLUpdateTask",
+    "MountNFSTask",
+    "OperatorTask",
+    "UnmountNFSTask",
+    "VLANUpdateTask",
+    "VMMigrationTask",
+    "VMStartupTask",
+    "VMStopTask",
+]

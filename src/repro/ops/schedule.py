@@ -1,0 +1,133 @@
+"""Maintenance windows: schedule operator tasks and reconcile detections.
+
+Operationally, task signatures close a loop the paper only sketches: the
+operator *schedules* work (migrations, storage changes), FlowDiff
+*detects* task occurrences from control traffic, and reconciliation
+answers three questions --
+
+* did every scheduled task actually happen (missed = change ticket not
+  executed, or executed invisibly)?
+* did anything task-shaped happen that was NOT scheduled (unexpected =
+  unauthorized operator activity, the control-plane analog of
+  unauthorized access)?
+* did the work happen roughly on time?
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.tasks.detector import TaskEvent
+from repro.netsim.network import Network
+from repro.ops.tasks import OperatorTask
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One planned item of a maintenance window.
+
+    Attributes:
+        task: the operator task to perform.
+        at: planned start time (simulation seconds).
+        tolerance: how far from ``at`` a detection may land and still be
+            reconciled with this item.
+    """
+
+    task: OperatorTask
+    at: float
+    tolerance: float = 10.0
+
+
+@dataclass(frozen=True)
+class Reconciliation:
+    """The outcome of comparing detections against the schedule.
+
+    Attributes:
+        matched: (scheduled item, detected event) pairs.
+        missed: scheduled items with no matching detection.
+        unexpected: detected task events no schedule item explains.
+    """
+
+    matched: Tuple[Tuple[ScheduledTask, TaskEvent], ...]
+    missed: Tuple[ScheduledTask, ...]
+    unexpected: Tuple[TaskEvent, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when everything scheduled happened and nothing else did."""
+        return not self.missed and not self.unexpected
+
+    def render(self) -> str:
+        """Human-readable reconciliation summary."""
+        lines = [
+            f"maintenance reconciliation: {len(self.matched)} matched, "
+            f"{len(self.missed)} missed, {len(self.unexpected)} unexpected"
+        ]
+        for item, event in self.matched:
+            lines.append(
+                f"  ok      {item.task.name} planned@{item.at:.1f}s "
+                f"detected@{event.t_start:.1f}s"
+            )
+        for item in self.missed:
+            lines.append(f"  MISSED  {item.task.name} planned@{item.at:.1f}s")
+        for event in self.unexpected:
+            lines.append(
+                f"  EXTRA   {event.name} detected@{event.t_start:.1f}s "
+                f"hosts={sorted(event.hosts)}"
+            )
+        return "\n".join(lines)
+
+
+class MaintenanceWindow:
+    """A batch of scheduled operator tasks plus the reconciliation logic."""
+
+    def __init__(self, items: Optional[Sequence[ScheduledTask]] = None) -> None:
+        self.items: List[ScheduledTask] = list(items or [])
+
+    def add(self, task: OperatorTask, at: float, tolerance: float = 10.0) -> None:
+        """Schedule one task."""
+        self.items.append(ScheduledTask(task=task, at=at, tolerance=tolerance))
+
+    def run(self, network: Network, seed: int = 0) -> None:
+        """Execute every scheduled task on the network at its planned time."""
+        for i, item in enumerate(self.items):
+            item.task.run(network, at=item.at, rng=random.Random(seed + i))
+
+    def reconcile(self, detected: Sequence[TaskEvent]) -> Reconciliation:
+        """Match detections against the schedule.
+
+        Greedy matching: each scheduled item takes the earliest unclaimed
+        detection of its task type within tolerance; the hosts of the
+        detection must include the task's involved hosts when both are
+        known (so a detection of *someone else's* migration cannot satisfy
+        this item).
+        """
+        remaining = list(detected)
+        matched: List[Tuple[ScheduledTask, TaskEvent]] = []
+        missed: List[ScheduledTask] = []
+        for item in sorted(self.items, key=lambda i: i.at):
+            expected_hosts = item.task.involved_hosts()
+            found = None
+            for event in sorted(remaining, key=lambda e: e.t_start):
+                if event.name != item.task.name:
+                    continue
+                if abs(event.t_start - item.at) > item.tolerance:
+                    continue
+                if expected_hosts and event.hosts and not (
+                    expected_hosts & event.hosts
+                ):
+                    continue
+                found = event
+                break
+            if found is None:
+                missed.append(item)
+            else:
+                remaining.remove(found)
+                matched.append((item, found))
+        return Reconciliation(
+            matched=tuple(matched),
+            missed=tuple(missed),
+            unexpected=tuple(remaining),
+        )

@@ -1,0 +1,108 @@
+"""Trace-driven replay: re-run a captured log's flows through a simulator.
+
+A controller log (simulated, or ingested from a real Ryu/Mininet network)
+fully determines the application-level flow arrivals: who talked to whom,
+when, and — via the ``FlowRemoved`` counters — how much. Replaying those
+arrivals into a fresh simulated network enables *counterfactual*
+experiments on real traffic:
+
+* replay yesterday's production capture with 2% loss injected on a
+  suspect link — would FlowDiff have caught it?
+* replay onto a different topology (capacity planning);
+* replay at a different time scale (stress the controller).
+
+Replay is flow-faithful, not byte-faithful: the first packet timing and
+the flow identity are reproduced exactly; sizes and durations come from
+the original ``FlowRemoved`` counters where available, else defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.events import extract_flow_records
+from repro.netsim.network import FlowRequest, Network
+from repro.openflow.log import ControllerLog
+
+
+@dataclass(frozen=True)
+class ReplayStats:
+    """What a replay scheduled and how it fared.
+
+    Attributes:
+        flows: arrivals scheduled.
+        with_counters: arrivals whose size/duration came from observed
+            FlowRemoved counters (the rest used defaults).
+        skipped: arrivals whose endpoints do not exist in the target
+            topology (replaying onto a different network).
+    """
+
+    flows: int
+    with_counters: int
+    skipped: int
+
+
+def replay_log(
+    log: ControllerLog,
+    network: Network,
+    time_scale: float = 1.0,
+    start_offset: float = 0.0,
+    default_size: int = 1000,
+    default_duration: float = 0.01,
+    occurrence_gap: float = 1.0,
+) -> ReplayStats:
+    """Schedule every flow arrival of ``log`` into ``network``.
+
+    Args:
+        log: the source capture.
+        network: target network; its simulator must not have advanced past
+            the first replayed arrival time.
+        time_scale: multiply inter-arrival spacing (0.5 = replay at double
+            speed — more controller load per second).
+        start_offset: shift all arrivals by this many seconds.
+        default_size/default_duration: used for arrivals without observed
+            counters.
+        occurrence_gap: flow-occurrence split threshold (as in
+            :func:`repro.core.events.extract_flow_records`).
+
+    Returns:
+        A :class:`ReplayStats` summary. The caller runs the simulator.
+
+    Raises:
+        ValueError: if ``time_scale`` is not positive.
+    """
+    if time_scale <= 0:
+        raise ValueError(f"time_scale must be positive, got {time_scale}")
+    records = extract_flow_records(log, occurrence_gap)
+    if not records:
+        return ReplayStats(flows=0, with_counters=0, skipped=0)
+    t0 = records[0].arrival.time
+
+    flows = 0
+    with_counters = 0
+    skipped = 0
+    for record in records:
+        key = record.arrival.flow
+        if (
+            network.host_for_ip(key.src) is None
+            or network.host_for_ip(key.dst) is None
+        ):
+            skipped += 1
+            continue
+        if record.byte_count > 0:
+            size = record.byte_count
+            duration = max(record.duration, 1e-3) * time_scale
+            with_counters += 1
+        else:
+            size = default_size
+            duration = default_duration * time_scale
+        at = start_offset + (record.arrival.time - t0) * time_scale
+        network.sim.schedule_at(
+            max(at, network.sim.now),
+            lambda k=key, s=size, d=duration: network.send_flow(
+                FlowRequest(key=k, size_bytes=s, duration=d)
+            ),
+        )
+        flows += 1
+    return ReplayStats(flows=flows, with_counters=with_counters, skipped=skipped)

@@ -1,0 +1,273 @@
+"""Synthetic VM lifecycle traces: the stand-in for the paper's EC2 captures.
+
+The paper inserts ``tcpdump`` into four EC2 VMs' boot sequences and records
+the flows each startup generates, then learns task automata from ~50 runs
+per VM (Table III). We have no EC2, so this module synthesizes equivalent
+captures: each :class:`VMImage` defines the startup flow sequence of an OS
+image (DHCP, DNS, metadata service, NTP, package mirror, ...), and the
+:class:`VMTraceSynthesizer` produces per-run variations through exactly the
+mechanisms the paper names (Section III-D): caching skips flows,
+retransmissions duplicate them, packet reordering swaps neighbours, and
+configuration differences add VM-specific flows.
+
+Three of the four modeled VMs share the Amazon-AMI base image (so their
+*masked* automata can cross-match — the paper's false-positive source)
+while the Ubuntu image has a distinct sequence (never cross-matches).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.openflow.log import ControllerLog
+from repro.openflow.match import FlowKey
+from repro.openflow.messages import PacketIn
+
+#: A timestamped flow observation, the unit task mining consumes.
+TimedFlow = Tuple[float, FlowKey]
+
+
+@dataclass(frozen=True)
+class _FlowSpec:
+    """One step of a lifecycle sequence, in role space.
+
+    ``src``/``dst`` are roles (``"vm"``, a service label, or a concrete
+    peer); ``sport=None`` means an ephemeral source port is sampled per
+    run. ``prob`` below 1.0 marks flows that caching or configuration can
+    omit.
+    """
+
+    src: str
+    dst: str
+    dport: int
+    sport: Optional[int] = None
+    proto: str = "tcp"
+    prob: float = 1.0
+
+
+@dataclass(frozen=True)
+class VMImage:
+    """An OS image: its startup flow sequence plus image-specific extras."""
+
+    name: str
+    sequence: Tuple[_FlowSpec, ...]
+
+    @staticmethod
+    def amazon_ami(variant: int = 0) -> "VMImage":
+        """The Amazon-Linux-style startup sequence.
+
+        All AMI VMs share the same base flow order (so their *masked*
+        automata can occasionally cross-match, the paper's false-positive
+        source). ``variant`` selects which of three instance-configuration
+        flows is always present on this VM; the other two appear only
+        rarely (residual cloud-init modules), so another AMI VM's automaton
+        matches this VM's startup only when its required variant flow
+        happens to occur.
+        """
+        variant_ports = (8443, 9418, 873)
+        seq: List[_FlowSpec] = [
+            _FlowSpec("vm", "DHCP", 67, sport=68, proto="udp"),
+            _FlowSpec("vm", "METADATA", 80),
+            _FlowSpec("vm", "METADATA", 80),
+            _FlowSpec("vm", "DNS", 53, proto="udp"),
+            _FlowSpec("vm", "NTP", 123, proto="udp"),
+            _FlowSpec("vm", "MIRROR", 80),
+            _FlowSpec("vm", "DNS", 53, proto="udp", prob=0.5),
+            _FlowSpec("vm", "MIRROR", 443),
+        ]
+        for i, port in enumerate(variant_ports):
+            prob = 1.0 if i == variant % len(variant_ports) else 0.12
+            seq.append(_FlowSpec("vm", "MIRROR", port, prob=prob))
+        seq.append(_FlowSpec("vm", "METADATA", 80))
+        return VMImage(name=f"amazon-ami-v{variant}", sequence=tuple(seq))
+
+    @staticmethod
+    def ubuntu() -> "VMImage":
+        """An Ubuntu cloud-image startup sequence (distinct base order)."""
+        return VMImage(
+            name="ubuntu",
+            sequence=(
+                _FlowSpec("vm", "DHCP", 67, sport=68, proto="udp"),
+                _FlowSpec("vm", "DNS", 53, proto="udp"),
+                _FlowSpec("vm", "NTP", 123, sport=123, proto="udp"),
+                _FlowSpec("vm", "MIRROR", 80),
+                _FlowSpec("vm", "MIRROR", 80, prob=0.5),
+                _FlowSpec("vm", "DNS", 53, proto="udp", prob=0.45),
+                _FlowSpec("vm", "KEYSERVER", 11371),
+                _FlowSpec("vm", "METADATA", 80),
+            ),
+        )
+
+
+@dataclass
+class TraceConfig:
+    """Per-run variation knobs.
+
+    Attributes:
+        dup_prob: probability a flow is duplicated (retransmission).
+        swap_prob: probability two adjacent flows swap (reordering).
+        gap_mean: mean gap between consecutive flows, seconds.
+        noise_rate: background flows per second interleaved into the trace
+            (zero for clean training captures; positive for in-the-wild
+            detection tests).
+    """
+
+    dup_prob: float = 0.04
+    swap_prob: float = 0.015
+    gap_mean: float = 0.05
+    noise_rate: float = 0.0
+
+
+#: Default concrete endpoints for the service roles appearing in sequences.
+DEFAULT_SERVICE_HOSTS = {
+    "DHCP": "10.0.0.1",
+    "DNS": "10.0.0.2",
+    "NTP": "10.0.0.3",
+    "METADATA": "169.254.169.254",
+    "MIRROR": "10.0.0.4",
+    "KEYSERVER": "10.0.0.5",
+    "NFS": "10.0.0.9",
+}
+
+
+class VMTraceSynthesizer:
+    """Generates per-run startup captures for a set of VMs.
+
+    Args:
+        vms: mapping from VM identifier (e.g. the paper's
+            ``i-3486634d``) to its :class:`VMImage`.
+        vm_ips: mapping from VM identifier to its IP; defaults to
+            ``10.1.0.<k>``.
+        service_hosts: role-to-IP mapping for the shared services.
+        config: variation knobs.
+        seed: base RNG seed; each run derives its own stream.
+    """
+
+    def __init__(
+        self,
+        vms: Dict[str, VMImage],
+        vm_ips: Optional[Dict[str, str]] = None,
+        service_hosts: Optional[Dict[str, str]] = None,
+        config: Optional[TraceConfig] = None,
+        seed: int = 101,
+    ) -> None:
+        self.vms = dict(vms)
+        self.service_hosts = dict(service_hosts or DEFAULT_SERVICE_HOSTS)
+        self.config = config or TraceConfig()
+        self.seed = seed
+        self.vm_ips = vm_ips or {
+            vm: f"10.1.0.{i + 10}" for i, vm in enumerate(sorted(self.vms))
+        }
+
+    @classmethod
+    def ec2_quartet(cls, seed: int = 101, config: Optional[TraceConfig] = None) -> "VMTraceSynthesizer":
+        """The paper's four EC2 VMs: three Amazon-AMI variants, one Ubuntu."""
+        return cls(
+            vms={
+                "i-3486634d": VMImage.amazon_ami(variant=0),
+                "i-5d021f3b": VMImage.amazon_ami(variant=1),
+                "i-d55066b3": VMImage.amazon_ami(variant=2),
+                "i-c5ebf1a3": VMImage.ubuntu(),
+            },
+            seed=seed,
+            config=config,
+        )
+
+    def service_names(self) -> Dict[str, str]:
+        """Host-to-label mapping for masking (``{"10.0.0.2": "DNS"}``)."""
+        return {ip: label for label, ip in self.service_hosts.items()}
+
+    def _resolve(self, role: str, vm: str) -> str:
+        if role == "vm":
+            return self.vm_ips[vm]
+        return self.service_hosts.get(role, role)
+
+    def startup_run(
+        self, vm: str, run_index: int, start_time: float = 0.0
+    ) -> List[TimedFlow]:
+        """Synthesize one startup capture for ``vm``.
+
+        Deterministic given ``(seed, vm, run_index)``.
+
+        Raises:
+            KeyError: for an unknown VM identifier.
+        """
+        image = self.vms[vm]
+        rng = random.Random(f"{self.seed}:{vm}:{run_index}")
+        cfg = self.config
+
+        chosen = [spec for spec in image.sequence if rng.random() < spec.prob]
+        # Adjacent reordering (packet/daemon scheduling variation).
+        specs = list(chosen)
+        i = 0
+        while i < len(specs) - 1:
+            if rng.random() < cfg.swap_prob:
+                specs[i], specs[i + 1] = specs[i + 1], specs[i]
+                i += 2
+            else:
+                i += 1
+
+        flows: List[TimedFlow] = []
+        t = start_time
+        for spec in specs:
+            t += rng.expovariate(1.0 / cfg.gap_mean)
+            sport = spec.sport if spec.sport is not None else rng.randint(32768, 60999)
+            key = FlowKey(
+                src=self._resolve(spec.src, vm),
+                dst=self._resolve(spec.dst, vm),
+                src_port=sport,
+                dst_port=spec.dport,
+                proto=spec.proto,
+            )
+            flows.append((t, key))
+            if rng.random() < cfg.dup_prob:
+                # Retransmission shows the same 5-tuple again shortly after.
+                flows.append((t + rng.uniform(0.001, 0.02), key))
+
+        if cfg.noise_rate > 0 and flows:
+            flows = self._interleave_noise(flows, rng)
+        flows.sort(key=lambda tf: tf[0])
+        return flows
+
+    def _interleave_noise(
+        self, flows: List[TimedFlow], rng: random.Random
+    ) -> List[TimedFlow]:
+        t0, t1 = flows[0][0], flows[-1][0]
+        out = list(flows)
+        t = t0
+        while True:
+            t += rng.expovariate(self.config.noise_rate)
+            if t >= t1:
+                break
+            out.append(
+                (
+                    t,
+                    FlowKey(
+                        src=f"10.9.{rng.randint(0, 9)}.{rng.randint(1, 250)}",
+                        dst=f"10.9.{rng.randint(0, 9)}.{rng.randint(1, 250)}",
+                        src_port=rng.randint(32768, 60999),
+                        dst_port=rng.choice([80, 443, 3306, 8080]),
+                    ),
+                )
+            )
+        return out
+
+    def training_runs(
+        self, vm: str, n_runs: int = 50
+    ) -> List[List[TimedFlow]]:
+        """``n_runs`` independent startup captures for automaton learning."""
+        return [self.startup_run(vm, i) for i in range(n_runs)]
+
+    @staticmethod
+    def to_log(flows: Sequence[TimedFlow], dpid: str = "tap0") -> ControllerLog:
+        """Wrap a raw capture as a single-switch controller log.
+
+        Models the paper's tcpdump-at-boot trick: every first packet of a
+        flow appears as a ``PacketIn`` from a virtual tap switch.
+        """
+        log = ControllerLog()
+        for t, key in flows:
+            log.append(PacketIn(timestamp=t, dpid=dpid, flow=key, in_port=1))
+        return log

@@ -1,0 +1,182 @@
+"""The Section V-C scalability workload: random three-tier apps, ON/OFF pairs.
+
+The paper "randomly generate[s] a set of three-tier applications and
+randomly place[s] their VMs on the network ... every VM in the same tier
+communicates with every VM in the next tier", with ON/OFF traffic whose
+periods are lognormal(mean 100 ms, std 30 ms) and a TCP connection-reuse
+probability of 0.6 (reused connections do not trigger new ``PacketIn``
+requests).
+
+:class:`RandomThreeTierWorkload` reproduces this: each inter-tier VM pair
+runs an independent ON/OFF loop; each ON period is one traffic burst that
+either reuses the pair's previous 5-tuple (probability ``reuse_prob``) or
+opens a fresh connection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.netsim.network import FlowRequest, Network
+from repro.openflow.log import ControllerLog
+from repro.openflow.match import FlowKey
+from repro.workload.arrivals import lognormal_params
+
+
+@dataclass
+class WorkloadStats:
+    """Counters accumulated while a workload runs."""
+
+    bursts: int = 0
+    new_connections: int = 0
+    reused_connections: int = 0
+
+    @staticmethod
+    def packet_in_rate(log: ControllerLog, bucket: float = 1.0) -> List[int]:
+        """Per-bucket ``PacketIn`` counts over the log's span (Fig. 13(a))."""
+        pins = log.packet_ins()
+        if not pins:
+            return []
+        t0 = pins[0].timestamp
+        t1 = pins[-1].timestamp
+        n = int((t1 - t0) // bucket) + 1
+        counts = [0] * n
+        for p in pins:
+            counts[int((p.timestamp - t0) // bucket)] += 1
+        return counts
+
+
+@dataclass(frozen=True)
+class _AppPlacement:
+    """One randomly generated three-tier application's VM placement."""
+
+    name: str
+    web: Tuple[str, ...]
+    app: Tuple[str, ...]
+    db: Tuple[str, ...]
+
+    def pairs(self) -> List[Tuple[str, str, int]]:
+        """All inter-tier (src, dst, dst_port) communicating pairs."""
+        out = []
+        for w in self.web:
+            for a in self.app:
+                out.append((w, a, 8009))
+        for a in self.app:
+            for d in self.db:
+                out.append((a, d, 3306))
+        return out
+
+
+class RandomThreeTierWorkload:
+    """Randomly placed three-tier applications with all-pairs ON/OFF traffic.
+
+    Args:
+        network: the substrate (usually built on
+            :func:`repro.netsim.topology.paper_tree`).
+        n_apps: number of applications to generate.
+        seed: RNG seed controlling placement and traffic.
+        reuse_prob: probability an ON burst reuses the previous connection
+            (the paper uses 0.6).
+        on_mean/on_std/off_mean/off_std: lognormal period moments (s).
+        rate_bytes: traffic rate during ON periods, bytes/second.
+        tier_sizes: inclusive (min, max) VM counts for web/app/db tiers.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        n_apps: int,
+        seed: int = 11,
+        reuse_prob: float = 0.6,
+        on_mean: float = 0.1,
+        on_std: float = 0.03,
+        off_mean: float = 0.1,
+        off_std: float = 0.03,
+        rate_bytes: float = 1_000_000.0,
+        tier_sizes: Tuple[Tuple[int, int], ...] = ((1, 2), (1, 3), (1, 2)),
+    ) -> None:
+        self.network = network
+        self.rng = random.Random(seed)
+        self.reuse_prob = reuse_prob
+        self.rate_bytes = rate_bytes
+        self._on = lognormal_params(on_mean, on_std)
+        self._off = lognormal_params(off_mean, off_std)
+        self.stats = WorkloadStats()
+        self.apps = self._place(n_apps, tier_sizes)
+        self._conn: Dict[Tuple[str, str, int], FlowKey] = {}
+        self._next_port = 20000
+
+    def _place(
+        self, n_apps: int, tier_sizes: Tuple[Tuple[int, int], ...]
+    ) -> List[_AppPlacement]:
+        hosts = list(self.network.topology.hosts())
+        self.rng.shuffle(hosts)
+        apps: List[_AppPlacement] = []
+        cursor = 0
+        for i in range(n_apps):
+            sizes = [self.rng.randint(lo, hi) for lo, hi in tier_sizes]
+            need = sum(sizes)
+            if cursor + need > len(hosts):
+                # Wrap around: co-locating tenants is realistic at scale.
+                self.rng.shuffle(hosts)
+                cursor = 0
+            chunk = hosts[cursor : cursor + need]
+            cursor += need
+            apps.append(
+                _AppPlacement(
+                    name=f"app{i + 1}",
+                    web=tuple(chunk[: sizes[0]]),
+                    app=tuple(chunk[sizes[0] : sizes[0] + sizes[1]]),
+                    db=tuple(chunk[sizes[0] + sizes[1] :]),
+                )
+            )
+        return apps
+
+    def _sample(self, params: Tuple[float, float]) -> float:
+        mu, sigma = params
+        return self.rng.lognormvariate(mu, sigma)
+
+    def _burst_key(self, src: str, dst: str, dst_port: int) -> FlowKey:
+        pair = (src, dst, dst_port)
+        existing = self._conn.get(pair)
+        if existing is not None and self.rng.random() < self.reuse_prob:
+            self.stats.reused_connections += 1
+            return existing
+        self.stats.new_connections += 1
+        self._next_port += 1
+        if self._next_port > 60000:
+            self._next_port = 20000
+        key = FlowKey(src=src, dst=dst, src_port=self._next_port, dst_port=dst_port)
+        self._conn[pair] = key
+        return key
+
+    def start(self, t_start: float, t_end: float) -> None:
+        """Schedule all pair loops over ``[t_start, t_end)``."""
+        for app in self.apps:
+            for src, dst, port in app.pairs():
+                # Stagger pair start times so bursts do not synchronize.
+                offset = self.rng.uniform(0.0, 0.2)
+                self._schedule_pair(src, dst, port, t_start + offset, t_end)
+
+    def _schedule_pair(
+        self, src: str, dst: str, port: int, at: float, t_end: float
+    ) -> None:
+        if at >= t_end:
+            return
+
+        def burst() -> None:
+            on_len = self._sample(self._on)
+            off_len = self._sample(self._off)
+            self.stats.bursts += 1
+            key = self._burst_key(src, dst, port)
+            size = max(1, int(self.rate_bytes * on_len))
+            self.network.send_flow(
+                FlowRequest(key=key, size_bytes=size, duration=on_len)
+            )
+            nxt = self.network.sim.now + on_len + off_len
+            if nxt < t_end:
+                self.network.sim.schedule_at(nxt, burst)
+
+        self.network.sim.schedule_at(at, burst)

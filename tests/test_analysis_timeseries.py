@@ -1,0 +1,86 @@
+"""Unit and property tests for repro.analysis.timeseries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.timeseries import epoch_counts, epoch_edges, split_intervals
+
+
+class TestEpochEdges:
+    def test_exact_division(self):
+        assert epoch_edges(0.0, 4.0, 1.0) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_partial_trailing_epoch(self):
+        edges = epoch_edges(0.0, 2.5, 1.0)
+        assert edges == [0.0, 1.0, 2.0, 2.5]
+
+    def test_empty_interval(self):
+        assert epoch_edges(3.0, 3.0, 1.0) == [3.0, 3.0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            epoch_edges(0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            epoch_edges(2.0, 1.0, 0.5)
+
+    @given(
+        st.floats(0, 100),
+        st.floats(0.1, 100),
+        st.floats(0.1, 10),
+    )
+    def test_edges_cover_interval(self, start, width, epoch):
+        edges = epoch_edges(start, start + width, epoch)
+        assert edges[0] == start
+        assert edges[-1] == pytest.approx(start + width)
+        assert all(a < b or (a == b) for a, b in zip(edges, edges[1:]))
+
+
+class TestEpochCounts:
+    def test_basic_bucketing(self):
+        counts = epoch_counts([0.1, 0.2, 1.5, 2.9], 0.0, 3.0, 1.0)
+        assert counts == [2, 1, 1]
+
+    def test_out_of_window_ignored(self):
+        counts = epoch_counts([-1.0, 5.0, 0.5], 0.0, 2.0, 1.0)
+        assert counts == [1, 0]
+
+    def test_event_at_end_excluded(self):
+        counts = epoch_counts([2.0], 0.0, 2.0, 1.0)
+        assert counts == [0, 0]
+
+    def test_trailing_partial_epoch_collects(self):
+        counts = epoch_counts([2.4], 0.0, 2.5, 1.0)
+        assert counts == [0, 0, 1]
+
+    @given(
+        st.lists(st.floats(0, 10), max_size=100),
+        st.floats(0.5, 3),
+    )
+    def test_total_count_preserved(self, times, epoch):
+        counts = epoch_counts(times, 0.0, 10.0, epoch)
+        in_window = sum(1 for t in times if 0.0 <= t < 10.0)
+        assert sum(counts) == in_window
+
+
+class TestSplitIntervals:
+    def test_equal_parts(self):
+        parts = split_intervals(0.0, 9.0, 3)
+        assert parts == [(0.0, 3.0), (3.0, 6.0), (6.0, 9.0)]
+
+    def test_single_part(self):
+        assert split_intervals(1.0, 2.0, 1) == [(1.0, 2.0)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_intervals(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            split_intervals(1.0, 0.0, 2)
+
+    @given(st.floats(0, 100), st.floats(0.1, 100), st.integers(1, 20))
+    def test_contiguous_cover(self, start, width, parts):
+        intervals = split_intervals(start, start + width, parts)
+        assert len(intervals) == parts
+        assert intervals[0][0] == start
+        assert intervals[-1][1] == pytest.approx(start + width)
+        for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+            assert a1 == pytest.approx(b0)

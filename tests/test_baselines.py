@@ -1,0 +1,75 @@
+"""Tests for the naive baseline detectors."""
+
+import pytest
+
+from repro.baselines import PerHostVolumeDetector, RateThresholdDetector
+from repro.faults import AppCrash, HostShutdown, LoggingMisconfig
+from repro.scenarios import three_tier_lab
+
+DURATION = 25.0
+
+
+def capture(fault=None, seed=3):
+    scenario = three_tier_lab(seed=seed)
+    if fault is not None:
+        scenario.inject(fault, at=0.0)
+    return scenario.run(0.5, DURATION)
+
+
+@pytest.fixture(scope="module")
+def baseline_log():
+    return capture()
+
+
+class TestRateThresholdDetector:
+    def test_requires_fit(self, baseline_log):
+        with pytest.raises(RuntimeError):
+            RateThresholdDetector().check(baseline_log)
+
+    def test_healthy_run_no_alarm(self, baseline_log):
+        detector = RateThresholdDetector()
+        detector.fit(baseline_log)
+        verdict = detector.check(capture(seed=17))
+        assert not verdict.alarmed
+
+    def test_crash_drops_rate_and_alarms(self, baseline_log):
+        detector = RateThresholdDetector()
+        detector.fit(baseline_log)
+        verdict = detector.check(capture(fault=HostShutdown("S8")))
+        assert verdict.alarmed
+        assert verdict.suspects == ()  # cannot localize by design
+
+    def test_blind_to_delay_faults(self, baseline_log):
+        """The headline weakness: volume looks normal under a slow server."""
+        detector = RateThresholdDetector()
+        detector.fit(baseline_log)
+        verdict = detector.check(capture(fault=LoggingMisconfig("S3", 0.05)))
+        assert not verdict.alarmed
+
+
+class TestPerHostVolumeDetector:
+    def test_requires_fit(self, baseline_log):
+        with pytest.raises(RuntimeError):
+            PerHostVolumeDetector().check(baseline_log)
+
+    def test_healthy_run_no_alarm(self, baseline_log):
+        detector = PerHostVolumeDetector()
+        detector.fit(baseline_log)
+        assert not detector.check(capture(seed=17)).alarmed
+
+    def test_crash_localizes_crudely(self, baseline_log):
+        detector = PerHostVolumeDetector()
+        detector.fit(baseline_log)
+        verdict = detector.check(capture(fault=AppCrash("S3")))
+        assert verdict.alarmed
+        assert verdict.suspects  # volume vanished on several hosts
+        # The crashed server is implicated, but so are its healthy peers —
+        # crude localization.
+        assert "S3" in verdict.suspects or "S8" in verdict.suspects
+
+    def test_blind_to_delay_faults(self, baseline_log):
+        detector = PerHostVolumeDetector()
+        detector.fit(baseline_log)
+        assert not detector.check(
+            capture(fault=LoggingMisconfig("S3", 0.05))
+        ).alarmed

@@ -1,0 +1,90 @@
+"""Chaos tests: randomized fault sequences must never break the pipeline.
+
+Property-based end-to-end runs: arbitrary (bounded) combinations of faults
+injected at random times into the lab scenario. The pipeline must always
+produce a well-formed report, and — the paper's implicit false-positive
+contract — fault-free runs with different workload samples must never
+raise unexplained changes against each other.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import FlowDiff
+from repro.faults import (
+    AppCrash,
+    BackgroundTraffic,
+    FirewallBlock,
+    HighCPU,
+    HostShutdown,
+    LinkLoss,
+    LoggingMisconfig,
+)
+from repro.scenarios import three_tier_lab
+
+DURATION = 20.0
+
+FAULT_FACTORIES = [
+    lambda: LoggingMisconfig("S3", 0.05),
+    lambda: HighCPU("S3", 4.0),
+    lambda: AppCrash("S3"),
+    lambda: HostShutdown("S8"),
+    lambda: FirewallBlock("S8", 3306),
+    lambda: LinkLoss([("S1", "ofs3")], 0.05),
+    lambda: BackgroundTraffic("S24", "S25", duration=DURATION),
+]
+
+
+def run_lab(fault_indices=(), fault_times=(), seed=3):
+    scenario = three_tier_lab(seed=seed)
+    for idx, at in zip(fault_indices, fault_times):
+        scenario.inject(FAULT_FACTORIES[idx](), at=at)
+    return scenario.run(0.5, DURATION, drain=10.0)
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return FlowDiff()
+
+
+@pytest.fixture(scope="module")
+def baseline(fd):
+    return fd.model(run_lab())
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    indices=st.lists(
+        st.integers(0, len(FAULT_FACTORIES) - 1), min_size=1, max_size=3, unique=True
+    ),
+    times=st.lists(st.floats(0.0, DURATION * 0.5), min_size=3, max_size=3),
+)
+def test_any_fault_combination_yields_wellformed_report(
+    fd, baseline, indices, times
+):
+    log = run_lab(indices, times)
+    report = fd.diff(baseline, fd.model(log, assess=False))
+    # Structural sanity regardless of what happened.
+    for change in report.unknown_changes:
+        assert change.kind is not None
+        assert change.description
+        assert change.direction in ("added", "removed", "shifted")
+    for problem in report.problems:
+        assert 0.0 <= problem.score <= 1.0
+    for component, score in report.component_ranking:
+        assert score > 0
+    # The report always serializes.
+    assert report.to_json()
+    # Any single destructive fault among the set must be noticed.
+    destructive = {2, 3, 4}
+    if destructive & set(indices):
+        assert not report.healthy
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(10, 10_000))
+def test_no_fault_no_false_positive(fd, baseline, seed):
+    """Different workload samples of the same deployment never alarm."""
+    log = run_lab(seed=seed)
+    report = fd.diff(baseline, fd.model(log, assess=False))
+    assert report.healthy, [c.brief() for c in report.unknown_changes]

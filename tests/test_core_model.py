@@ -1,0 +1,74 @@
+"""Tests for the behavior-model container and FlowDiff configuration."""
+
+import pytest
+
+from repro import FlowDiff, FlowDiffConfig
+from repro.core.model import BehaviorModel
+from repro.core.signatures import SignatureKind
+from repro.core.signatures.infrastructure import (
+    ControllerResponseTime,
+    InfrastructureSignature,
+    InterSwitchLatency,
+    PhysicalTopology,
+)
+from repro.scenarios import three_tier_lab
+
+
+@pytest.fixture(scope="module")
+def model():
+    log = three_tier_lab(seed=3).run(0.5, 10.0)
+    return FlowDiff().model(log)
+
+
+class TestBehaviorModel:
+    def test_groups_sorted_by_key(self, model):
+        groups = model.groups()
+        assert groups
+        keys = [g.key for g in groups]
+        assert keys == sorted(keys)
+
+    def test_duration(self, model):
+        assert model.duration > 0
+
+    def test_is_stable_defaults_true(self, model):
+        assert model.is_stable("not-a-group", SignatureKind.CG)
+
+    def test_stability_lookup(self, model):
+        key = model.groups()[0].key
+        # Whatever the verdicts are, lookups agree with the raw map.
+        for kind in (SignatureKind.CG, SignatureKind.DD):
+            expected = model.stability.get((key, kind), True)
+            assert model.is_stable(key, kind) == expected
+
+    def test_manual_construction(self):
+        infra = InfrastructureSignature(
+            pt=PhysicalTopology.build([]),
+            isl=InterSwitchLatency.build([]),
+            crt=ControllerResponseTime.build([]),
+        )
+        model = BehaviorModel(
+            app_signatures={}, infrastructure=infra, window=(0.0, 5.0)
+        )
+        assert model.duration == 5.0
+        assert model.groups() == []
+
+
+class TestFlowDiffConfig:
+    def test_with_special_nodes(self):
+        config = FlowDiffConfig.with_special_nodes(["dns", "nfs"])
+        assert config.signature.special_nodes == ("dns", "nfs")
+
+    def test_defaults_reasonable(self):
+        config = FlowDiffConfig()
+        assert config.stability_parts >= 2
+        assert config.thresholds.dd_shift > 0
+        assert config.explanations  # built-in task rules present
+
+    def test_stability_disabled(self):
+        from repro.openflow.log import ControllerLog
+        import dataclasses
+
+        config = dataclasses.replace(FlowDiffConfig(), stability_parts=0)
+        log = three_tier_lab(seed=3).run(0.5, 5.0)
+        model = FlowDiff(config).model(log)
+        assert model.stability == {}

@@ -1,0 +1,151 @@
+"""End-to-end integration tests: workload -> log -> model -> diagnosis.
+
+These mirror the paper's Table I methodology at small scale: run a healthy
+baseline, re-run with one injected problem, and assert FlowDiff's diff
+detects the right signature changes, classifies a plausible problem type,
+and localizes the faulty component.
+"""
+
+import pytest
+
+from repro import FlowDiff, FlowDiffConfig
+from repro.core.signatures import SignatureKind
+from repro.core.tasks import TaskLibrary
+from repro.faults import (
+    AppCrash,
+    ControllerOverload,
+    HighCPU,
+    HostShutdown,
+    LinkLoss,
+    LoggingMisconfig,
+    UnauthorizedAccess,
+)
+from repro.ops import VMMigrationTask
+from repro.scenarios import three_tier_lab
+
+DURATION = 30.0
+
+
+def run_lab(fault=None, seed=3, task=None):
+    scenario = three_tier_lab(seed=seed)
+    if fault is not None:
+        scenario.inject(fault, at=0.0)
+    if task is not None:
+        task.run(scenario.network, at=DURATION / 2)
+    return scenario.run(0.5, DURATION)
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return FlowDiff()
+
+
+@pytest.fixture(scope="module")
+def baseline_model(fd):
+    return fd.model(run_lab())
+
+
+class TestHealthyBaseline:
+    def test_no_fault_no_findings(self, fd, baseline_model):
+        """A different seed (different workload sample) stays clean."""
+        report = fd.diff(baseline_model, fd.model(run_lab(seed=17)))
+        assert report.healthy
+
+    def test_baseline_signatures_stable(self, baseline_model):
+        for (key, kind), verdict in baseline_model.stability.items():
+            assert verdict, f"{kind} unexpectedly unstable for {key}"
+
+
+class TestFaultDetection:
+    def diff(self, fd, baseline_model, fault):
+        return fd.diff(baseline_model, fd.model(run_lab(fault=fault)))
+
+    def test_logging_misconfig_shifts_dd_only(self, fd, baseline_model):
+        report = self.diff(fd, baseline_model, LoggingMisconfig("S3", 0.05))
+        assert report.changed_kinds() == (SignatureKind.DD,)
+        assert "S3" in [c for c, _ in report.component_ranking[:3]]
+
+    def test_high_cpu_shifts_dd(self, fd, baseline_model):
+        report = self.diff(fd, baseline_model, HighCPU("S3", 3.0))
+        assert SignatureKind.DD in report.changed_kinds()
+        assert "S3" in [c for c, _ in report.component_ranking[:3]]
+
+    def test_link_loss_shifts_dd_and_fs(self, fd, baseline_model):
+        report = self.diff(
+            fd, baseline_model, LinkLoss([("S1", "ofs3"), ("S3", "ofs5")], 0.02)
+        )
+        kinds = set(report.changed_kinds())
+        assert SignatureKind.FS in kinds
+        assert SignatureKind.DD in kinds
+
+    def test_app_crash_removes_structure(self, fd, baseline_model):
+        report = self.diff(fd, baseline_model, AppCrash("S3"))
+        kinds = set(report.changed_kinds())
+        assert SignatureKind.CG in kinds
+        assert SignatureKind.CI in kinds
+        assert any(
+            p.problem in ("application_failure", "host_failure")
+            for p in report.problems
+        )
+
+    def test_host_shutdown_detected(self, fd, baseline_model):
+        report = self.diff(fd, baseline_model, HostShutdown("S8"))
+        assert SignatureKind.CG in report.changed_kinds()
+        assert any(p.problem == "host_failure" for p in report.problems)
+        assert "S8" in [c for c, _ in report.component_ranking[:4]]
+
+    def test_unauthorized_access_classified(self, fd, baseline_model):
+        report = self.diff(
+            fd, baseline_model, UnauthorizedAccess("S20", ["S3", "S8"], n_flows=30)
+        )
+        assert report.problems[0].problem == "unauthorized_access"
+        assert report.component_ranking[0][0] == "S20"
+
+    def test_controller_overload_shifts_crt(self, fd, baseline_model):
+        report = self.diff(fd, baseline_model, ControllerOverload(20.0))
+        assert SignatureKind.CRT in report.changed_kinds()
+        assert any(
+            p.problem in ("controller_overhead", "controller_failure")
+            for p in report.problems
+        )
+
+
+class TestTaskValidation:
+    def test_migration_changes_explained_by_task(self, fd):
+        """A learned migration automaton silences the migration's changes."""
+        import random
+
+        scenario = three_tier_lab(seed=3)
+        nfs = "S20"
+        task = VMMigrationTask("VM1", "S1", "S2", nfs, dst_switch="ofs4")
+
+        library = TaskLibrary()
+        library.learn(
+            "vm_migration",
+            [task.flow_sequence(random.Random(i)) for i in range(20)],
+            masked=True,
+        )
+
+        baseline = fd.model(run_lab())
+        log2 = run_lab(task=VMMigrationTask("VM1", "S1", "S2", nfs, dst_switch="ofs4"))
+
+        unvalidated = fd.diff(baseline, fd.model(log2))
+        validated = fd.diff(
+            baseline, fd.model(log2), task_library=library, current_log=log2
+        )
+        assert len(validated.task_events) >= 1
+        assert validated.task_events[0].name == "vm_migration"
+        assert len(validated.unknown_changes) < len(unvalidated.unknown_changes)
+        assert validated.known_changes
+
+
+class TestWindowedDiff:
+    def test_same_log_two_windows(self, fd):
+        """L1/L2 as two windows of one capture (the paper's workflow)."""
+        scenario = three_tier_lab(seed=3)
+        scenario.inject(LoggingMisconfig("S3", 0.05), at=30.0)
+        log = scenario.run(0.5, 60.0)
+        l1 = log.window(0.0, 28.0)
+        l2 = log.window(32.0, 60.0)
+        report = fd.diff(fd.model(l1), fd.model(l2))
+        assert SignatureKind.DD in report.changed_kinds()

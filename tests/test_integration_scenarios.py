@@ -1,0 +1,138 @@
+"""Deeper end-to-end scenarios: compound faults, recovery, boundaries."""
+
+import pytest
+
+from repro import FlowDiff
+from repro.core.signatures import SignatureKind
+from repro.faults import (
+    BackgroundTraffic,
+    HostShutdown,
+    LoggingMisconfig,
+)
+from repro.openflow.log import ControllerLog
+from repro.scenarios import three_tier_lab
+
+DURATION = 30.0
+
+
+def capture(faults=(), seed=3, stop=DURATION):
+    scenario = three_tier_lab(seed=seed)
+    for fault, at, until in faults:
+        scenario.inject(fault, at=at, until=until)
+    return scenario.run(0.5, stop)
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return FlowDiff()
+
+
+@pytest.fixture(scope="module")
+def baseline(fd):
+    return fd.model(capture())
+
+
+class TestCompoundFaults:
+    def test_two_simultaneous_faults_both_visible(self, fd, baseline):
+        """A slow server AND an iperf hog: both symptom sets must appear."""
+        log = capture(
+            faults=[
+                (LoggingMisconfig("S3", 0.05), 0.0, None),
+                (
+                    BackgroundTraffic(
+                        "S24", "S25", rate_bytes=200_000_000, duration=DURATION
+                    ),
+                    0.0,
+                    None,
+                ),
+            ]
+        )
+        report = fd.diff(baseline, fd.model(log, assess=False))
+        kinds = set(report.changed_kinds())
+        assert SignatureKind.DD in kinds  # the slow server
+        assert SignatureKind.ISL in kinds  # the congestion
+        suspects = [c for c, _ in report.component_ranking if "--" not in c]
+        assert "S3" in suspects[:6]
+
+    def test_fault_plus_shutdown_distinct_components(self, fd, baseline):
+        log = capture(
+            faults=[
+                (LoggingMisconfig("S3", 0.05), 0.0, None),
+                (HostShutdown("S8"), 0.0, None),
+            ]
+        )
+        report = fd.diff(baseline, fd.model(log, assess=False))
+        components = set()
+        for change in report.unknown_changes:
+            components |= change.components
+        assert "S3" in components
+        assert "S8" in components
+
+
+class TestRecovery:
+    def test_reverted_fault_leaves_later_window_clean(self, fd, baseline):
+        """A fault active only early in the log: the tail looks healthy."""
+        scenario = three_tier_lab(seed=3)
+        scenario.inject(LoggingMisconfig("S3", 0.05), at=0.0, until=20.0)
+        log = scenario.run(0.5, 60.0)
+        early = fd.model(log.window(0.5, 18.0), assess=False)
+        late = fd.model(log.window(30.0, 60.0), assess=False)
+        assert not fd.diff(baseline, early).healthy
+        assert fd.diff(baseline, late).healthy
+
+
+class TestBoundaries:
+    def test_model_of_empty_log(self, fd):
+        model = fd.model(ControllerLog())
+        assert model.app_signatures == {}
+        assert model.infrastructure.crt.count == 0
+
+    def test_diff_against_empty_current(self, fd, baseline):
+        empty = fd.model(ControllerLog(), assess=False)
+        report = fd.diff(baseline, empty)
+        # Everything disappeared: structural removals, no crash.
+        assert not report.healthy
+        assert all(
+            c.direction == "removed"
+            for c in report.unknown_changes
+            if c.kind == SignatureKind.CG
+        )
+
+    def test_diff_empty_against_empty(self, fd):
+        a = fd.model(ControllerLog(), assess=False)
+        b = fd.model(ControllerLog(), assess=False)
+        assert fd.diff(a, b).healthy
+
+    def test_very_short_window(self, fd, baseline):
+        log = capture(stop=2.0)
+        model = fd.model(log, assess=False)
+        report = fd.diff(baseline, model)
+        # A 2 s sample is sparse: rates differ wildly, but the report must
+        # still be well-formed and structural signatures consistent.
+        for change in report.unknown_changes:
+            assert change.kind in SignatureKind
+
+    def test_same_model_diff_is_healthy(self, fd, baseline):
+        assert fd.diff(baseline, baseline).healthy
+
+
+class TestPortStatusCorroboration:
+    def test_switch_failure_includes_port_down_evidence(self, fd, baseline):
+        """A failed switch's own PortStatus report lands in the diff."""
+        from repro.faults import SwitchFailure
+
+        scenario = three_tier_lab(seed=3)
+        scenario.inject(SwitchFailure("ofs5"), at=5.0)
+        log = scenario.run(0.5, DURATION)
+        model = fd.model(log, assess=False)
+        assert "ofs5" in model.infrastructure.corroborated_dead_switches()
+        report = fd.diff(baseline, model)
+        assert any(
+            "reported port" in c.description and "ofs5" in c.components
+            for c in report.unknown_changes
+        )
+
+    def test_healthy_run_no_port_events(self, fd, baseline):
+        log = capture(seed=29)
+        model = fd.model(log, assess=False)
+        assert model.infrastructure.port_down_events == ()

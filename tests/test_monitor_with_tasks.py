@@ -1,0 +1,60 @@
+"""The monitor and task library working together over a long log."""
+
+import random
+
+import pytest
+
+from repro.core.monitor import SlidingDiagnoser
+from repro.core.tasks import TaskLibrary
+from repro.faults import HighCPU
+from repro.ops import VMStopTask
+from repro.scenarios import three_tier_lab
+
+
+@pytest.fixture(scope="module")
+def setting():
+    """120 s with a planned VM stop at t=45 and a CPU fault at t=80."""
+    scenario = three_tier_lab(seed=3)
+    VMStopTask("VM1", "S20").run(scenario.network, at=45.0)
+    scenario.inject(HighCPU("S3", factor=3.0), at=80.0)
+    log = scenario.run(0.5, 120.0)
+
+    library = TaskLibrary()
+    library.learn(
+        "vm_stop",
+        [VMStopTask("VM1", "S20").flow_sequence(random.Random(i)) for i in range(20)],
+        masked=True,
+    )
+    return log, library
+
+
+class TestMonitorWithTasks:
+    def test_task_window_not_flagged(self, setting):
+        log, library = setting
+        diagnoser = SlidingDiagnoser(window=15.0, task_library=library)
+        diagnoser.set_baseline(log, 0.0, 30.0)
+        diagnoser.advance(log)
+        task_windows = [
+            e for e in diagnoser.history if e.t_start <= 45.0 < e.t_end
+        ]
+        assert task_windows
+        for entry in task_windows:
+            assert entry.healthy, [
+                c.brief() for c in entry.report.unknown_changes
+            ]
+            # The task itself was observed and attributed.
+            names = {ev.name for ev in entry.report.task_events}
+            assert "vm_stop" in names
+
+    def test_fault_still_flagged_despite_library(self, setting):
+        log, library = setting
+        diagnoser = SlidingDiagnoser(window=15.0, task_library=library)
+        diagnoser.set_baseline(log, 0.0, 30.0)
+        diagnoser.advance(log)
+        first_bad = diagnoser.first_unhealthy()
+        assert first_bad is not None
+        assert first_bad.t_end > 80.0
+        suspects = [
+            c for c, _ in first_bad.report.component_ranking if "--" not in c
+        ]
+        assert "S3" in suspects[:3]

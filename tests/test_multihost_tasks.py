@@ -1,0 +1,92 @@
+"""Tests for multi-host operator tasks (the paper's future-work extension)."""
+
+import random
+
+import pytest
+
+from repro.core.tasks import TaskLibrary
+from repro.ops import ACLUpdateTask, VLANUpdateTask
+
+
+class TestVLANUpdateTask:
+    def test_sequence_touches_every_host(self):
+        task = VLANUpdateTask("mgmt", ["h1", "h2", "h3"], "cfgstore")
+        keys = [k for _, k in task.flow_sequence(random.Random(1))]
+        for host in ("h1", "h2", "h3"):
+            assert any(k.dst == host and k.dst_port == 8443 for k in keys)
+            assert any(k.src == host and k.src_port == 8443 for k in keys)
+        # Config store read first, commit last.
+        assert keys[0].dst == "cfgstore"
+        assert keys[-1].dst == "cfgstore"
+
+    def test_requires_hosts(self):
+        with pytest.raises(ValueError):
+            VLANUpdateTask("mgmt", [], "cfg")
+
+    def test_involved_hosts(self):
+        task = VLANUpdateTask("m", ["a", "b"], "c")
+        assert task.involved_hosts() == {"m", "a", "b", "c"}
+
+
+class TestACLUpdateTask:
+    def test_ssh_profile(self):
+        task = ACLUpdateTask("mgmt", ["h1", "h2"])
+        keys = [k for _, k in task.flow_sequence(random.Random(2))]
+        assert all(k.dst_port == 22 for k in keys)
+        assert [k.dst for k in keys] == ["h1", "h2"]
+
+    def test_requires_hosts(self):
+        with pytest.raises(ValueError):
+            ACLUpdateTask("mgmt", [])
+
+
+class TestMultiHostDetection:
+    def test_masked_vlan_automaton_generalizes(self):
+        """The learned template binds distinct placeholders per host and
+        matches a VLAN update on entirely different hosts."""
+        library = TaskLibrary(service_names={"cfgstore": "CFG"})
+        train_task = VLANUpdateTask("mgmt", ["h1", "h2"], "cfgstore")
+        runs = [train_task.flow_sequence(random.Random(i)) for i in range(20)]
+        library.learn("vlan_update", runs, min_sup=0.6, masked=True)
+
+        other = VLANUpdateTask("admin9", ["web1", "db7"], "cfgstore")
+        stream = other.flow_sequence(random.Random(99))
+        events = library.detect(stream)
+        assert any(e.name == "vlan_update" for e in events)
+        event = [e for e in events if e.name == "vlan_update"][0]
+        assert {"admin9", "web1", "db7"} <= event.hosts
+
+    def test_vlan_and_acl_do_not_cross_match(self):
+        library = TaskLibrary(service_names={"cfgstore": "CFG"})
+        vlan_runs = [
+            VLANUpdateTask("mgmt", ["h1", "h2"], "cfgstore").flow_sequence(
+                random.Random(i)
+            )
+            for i in range(20)
+        ]
+        acl_runs = [
+            ACLUpdateTask("mgmt", ["h1", "h2"]).flow_sequence(random.Random(i))
+            for i in range(20)
+        ]
+        library.learn("vlan_update", vlan_runs, min_sup=0.6, masked=True)
+        library.learn("acl_update", acl_runs, min_sup=0.6, masked=True)
+
+        acl_stream = ACLUpdateTask("m2", ["x", "y"]).flow_sequence(random.Random(7))
+        events = library.detect(acl_stream)
+        names = {e.name for e in events}
+        assert "acl_update" in names
+        assert "vlan_update" not in names
+
+    def test_host_count_mismatch_not_detected(self):
+        """An update touching fewer hosts than learned is incomplete."""
+        library = TaskLibrary(service_names={"cfgstore": "CFG"})
+        runs = [
+            VLANUpdateTask("mgmt", ["h1", "h2", "h3"], "cfgstore").flow_sequence(
+                random.Random(i)
+            )
+            for i in range(20)
+        ]
+        library.learn("vlan_update", runs, min_sup=0.6, masked=True)
+        small = VLANUpdateTask("mgmt", ["only1"], "cfgstore")
+        events = library.detect(small.flow_sequence(random.Random(3)))
+        assert not any(e.name == "vlan_update" for e in events)

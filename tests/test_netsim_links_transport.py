@@ -1,0 +1,114 @@
+"""Unit and property tests for link utilization and transport effects."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.links import Link
+from repro.netsim.transport import TransportModel
+
+
+class TestLink:
+    def test_idle_link_base_latency(self):
+        link = Link("a", "b", latency=0.001)
+        assert link.effective_latency(0.0) == pytest.approx(0.001)
+
+    def test_utilization_raises_latency(self):
+        link = Link("a", "b", latency=0.001, bandwidth=1_000_000)
+        link.record_traffic(0.0, nbytes=900_000, duration=1.0)
+        assert link.utilization(0.0) > 0.5
+        assert link.effective_latency(0.0) > 0.0015
+
+    def test_utilization_decays(self):
+        link = Link("a", "b", bandwidth=1_000_000, decay=0.5)
+        link.record_traffic(0.0, nbytes=900_000, duration=1.0)
+        busy = link.utilization(0.0)
+        later = link.utilization(5.0)
+        assert later < busy / 10
+
+    def test_utilization_saturates_below_one(self):
+        link = Link("a", "b", bandwidth=1_000)
+        link.record_traffic(0.0, nbytes=10_000_000, duration=0.1)
+        assert link.utilization(0.0) <= 0.95
+
+    def test_fail_recover(self):
+        link = Link("a", "b")
+        assert link.up
+        link.fail()
+        assert not link.up
+        link.recover()
+        assert link.up
+
+    def test_key_canonical(self):
+        assert Link("b", "a").key() == Link("a", "b").key()
+
+    def test_zero_bandwidth_treated_saturated(self):
+        link = Link("a", "b", bandwidth=0)
+        assert link.utilization(0.0) == 0.95
+
+
+class TestTransportModel:
+    def test_lossless_passthrough(self):
+        model = TransportModel()
+        out = model.apply(10000, [0.0, 0.0], random.Random(1))
+        assert out.delivered
+        assert out.observed_bytes == 10000
+        assert out.extra_delay == 0.0
+        assert out.retransmissions == 0
+
+    def test_path_loss_combines(self):
+        assert TransportModel.path_loss([0.5, 0.5]) == pytest.approx(0.75)
+        assert TransportModel.path_loss([]) == 0.0
+        assert TransportModel.path_loss([1.0]) == 1.0
+
+    def test_packets_for(self):
+        model = TransportModel(mss=1460)
+        assert model.packets_for(1) == 1
+        assert model.packets_for(1460) == 1
+        assert model.packets_for(1461) == 2
+
+    def test_loss_inflates_bytes_and_delay(self):
+        model = TransportModel()
+        rng = random.Random(7)
+        total_bytes = 0
+        total_delay = 0.0
+        for _ in range(200):
+            out = model.apply(14600, [0.05], rng)
+            total_bytes += out.observed_bytes
+            total_delay += out.extra_delay
+        assert total_bytes > 200 * 14600  # retransmissions visible
+        assert total_delay > 0.0
+
+    def test_heavy_loss_can_kill_flow(self):
+        model = TransportModel(max_attempts=2)
+        rng = random.Random(3)
+        outcomes = [model.apply(14600, [0.9], rng) for _ in range(50)]
+        assert any(not o.delivered for o in outcomes)
+
+    def test_extra_delay_multiple_of_rto(self):
+        model = TransportModel(rto=0.2)
+        rng = random.Random(11)
+        for _ in range(100):
+            out = model.apply(1460, [0.3], rng)
+            if out.retransmissions:
+                assert out.extra_delay >= 0.2
+
+    @given(
+        st.integers(1, 100_000),
+        st.floats(0, 0.5),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=50)
+    def test_observed_bytes_at_least_nominal(self, nbytes, loss, seed):
+        model = TransportModel()
+        out = model.apply(nbytes, [loss], random.Random(seed))
+        if out.delivered:
+            assert out.observed_bytes >= nbytes
+        assert out.extra_delay >= 0.0
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_path_loss_bounded(self, a, b):
+        loss = TransportModel.path_loss([a, b])
+        assert 0.0 <= loss <= 1.0
+        assert loss >= max(a, b) - 1e-9

@@ -1,0 +1,156 @@
+"""Unit tests for topology construction, routing, and builders."""
+
+import pytest
+
+from repro.netsim.topology import (
+    Topology,
+    fat_tree,
+    lab_testbed,
+    linear_topology,
+    paper_tree,
+)
+
+
+class TestTopologyBasics:
+    def test_add_and_query_kinds(self):
+        topo = Topology()
+        topo.add_host("h1")
+        topo.add_switch("sw1")
+        topo.add_switch("legacy1", programmable=False)
+        assert topo.is_host("h1")
+        assert topo.is_openflow("sw1")
+        assert not topo.is_openflow("legacy1")
+        assert topo.legacy_switches() == ["legacy1"]
+
+    def test_link_requires_known_nodes(self):
+        topo = Topology()
+        topo.add_host("h1")
+        with pytest.raises(KeyError):
+            topo.add_link("h1", "nope")
+
+    def test_port_assignment_deterministic(self):
+        topo = Topology()
+        topo.add_switch("sw1")
+        for h in ("h1", "h2", "h3"):
+            topo.add_host(h)
+            topo.add_link(h, "sw1")
+        assert topo.port_to("sw1", "h1") == 1
+        assert topo.port_to("sw1", "h2") == 2
+        assert topo.neighbor_at("sw1", 3) == "h3"
+        assert topo.neighbor_at("sw1", 9) is None
+
+    def test_attachment_switch(self):
+        topo = linear_topology(2, 1)
+        assert topo.attachment_switch("h1") == "sw1"
+
+    def test_link_lookup(self):
+        topo = linear_topology(2, 1)
+        link = topo.link("sw1", "sw2")
+        assert link.key() == ("sw1", "sw2")
+        assert topo.link("sw2", "sw1") is link
+        with pytest.raises(KeyError):
+            topo.link("sw1", "h2")
+
+
+class TestRouting:
+    def test_shortest_path(self):
+        topo = linear_topology(3, 1)
+        path = topo.path("h1", "h3")
+        assert path == ["h1", "sw1", "sw2", "sw3", "h3"]
+
+    def test_path_avoids_dead_switch(self):
+        topo = lab_testbed()
+        # Path between hosts on different edge switches crosses a core;
+        # killing ofs1 must still leave the ofs2 core path.
+        p1 = topo.path("S1", "S2")
+        assert p1 is not None
+        p2 = topo.path("S1", "S2", dead_nodes={"ofs1"})
+        assert p2 is not None
+        assert "ofs1" not in p2
+
+    def test_path_none_when_disconnected(self):
+        topo = linear_topology(2, 1)
+        topo.link("sw1", "sw2").fail()
+        assert topo.path("h1", "h2") is None
+
+    def test_path_honors_downed_link(self):
+        topo = lab_testbed()
+        topo.link("ofs3", "ofs1").fail()
+        path = topo.path("S1", "S3")
+        assert path is not None
+        assert ("ofs3", "ofs1") not in list(zip(path, path[1:]))
+
+    def test_dead_endpoint_unreachable(self):
+        topo = linear_topology(2, 1)
+        assert topo.path("h1", "h2", dead_nodes={"h2"}) is None
+
+    def test_move_host(self):
+        topo = linear_topology(3, 1)
+        assert topo.attachment_switch("h1") == "sw1"
+        topo.move_host("h1", "sw3")
+        assert topo.attachment_switch("h1") == "sw3"
+        assert topo.path("h1", "h3") == ["h1", "sw3", "h3"]
+
+
+class TestBuilders:
+    def test_lab_testbed_dimensions(self):
+        topo = lab_testbed()
+        assert len(topo.hosts()) == 30  # 25 servers + 5 VMs
+        assert len(topo.switches()) == 7
+        assert len(topo.legacy_switches()) == 2
+
+    def test_lab_testbed_openflow_on_every_path(self):
+        """Every server pair path crosses at least one OpenFlow switch."""
+        topo = lab_testbed()
+        hosts = topo.hosts()[:8]
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1 :]:
+                path = topo.path(a, b)
+                assert path is not None
+                assert any(topo.is_openflow(n) for n in path)
+
+    def test_paper_tree_dimensions(self):
+        topo = paper_tree()
+        assert len(topo.hosts()) == 320
+        tors = [s for s in topo.switches() if s.startswith("tor")]
+        aggs = [s for s in topo.switches() if s.startswith("agg")]
+        cores = [s for s in topo.switches() if s.startswith("core")]
+        assert len(tors) == 16
+        assert len(aggs) == 8
+        assert len(cores) == 2
+
+    def test_paper_tree_wiring(self):
+        topo = paper_tree()
+        # Each ToR dual-homed to its group's two aggregation switches.
+        assert topo.graph.has_edge("tor1", "agg1_1")
+        assert topo.graph.has_edge("tor1", "agg1_2")
+        # All aggs connect to both cores.
+        for g in range(1, 5):
+            for s in (1, 2):
+                assert topo.graph.has_edge(f"agg{g}_{s}", "core1")
+                assert topo.graph.has_edge(f"agg{g}_{s}", "core2")
+
+    def test_paper_tree_connectivity(self):
+        topo = paper_tree()
+        assert topo.path("srv1", "srv320") is not None
+
+    def test_fat_tree_dimensions(self):
+        topo = fat_tree(4)
+        assert len(topo.hosts()) == 16  # k^3/4
+        assert len(topo.switches()) == 4 + 4 * 4  # 4 cores + 8 agg + 8 edge
+
+    def test_fat_tree_validation(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+        with pytest.raises(ValueError):
+            fat_tree(0)
+
+    def test_fat_tree_connectivity(self):
+        topo = fat_tree(4)
+        hosts = topo.hosts()
+        assert topo.path(hosts[0], hosts[-1]) is not None
+
+    def test_linear_topology_shape(self):
+        topo = linear_topology(4, 2)
+        assert len(topo.hosts()) == 8
+        assert len(topo.switches()) == 4

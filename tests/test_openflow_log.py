@@ -1,0 +1,91 @@
+"""Unit and property tests for the controller log."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.openflow.log import ControllerLog
+from repro.openflow.match import FlowKey
+from repro.openflow.messages import FlowMod, FlowRemoved, PacketIn, PacketOut
+
+KEY = FlowKey("a", "b", 1000, 80)
+
+
+def pin(ts, dpid="sw1"):
+    return PacketIn(timestamp=ts, dpid=dpid, flow=KEY, in_port=1)
+
+
+class TestControllerLog:
+    def test_append_and_len(self):
+        log = ControllerLog()
+        log.append(pin(1.0))
+        log.append(pin(2.0))
+        assert len(log) == 2
+
+    def test_out_of_order_appends_sorted(self):
+        log = ControllerLog()
+        log.append(pin(2.0))
+        log.append(pin(1.0))
+        log.append(pin(3.0))
+        assert [m.timestamp for m in log] == [1.0, 2.0, 3.0]
+
+    def test_stable_order_for_equal_timestamps(self):
+        log = ControllerLog()
+        a = pin(1.0, "first")
+        b = pin(1.0, "second")
+        log.append(a)
+        log.append(b)
+        assert [m.dpid for m in log] == ["first", "second"]
+
+    def test_time_span(self):
+        log = ControllerLog([pin(1.5), pin(4.5)])
+        assert log.time_span == (1.5, 4.5)
+        assert ControllerLog().time_span == (0.0, 0.0)
+
+    def test_window_half_open(self):
+        log = ControllerLog([pin(1.0), pin(2.0), pin(3.0)])
+        sub = log.window(1.0, 3.0)
+        assert [m.timestamp for m in sub] == [1.0, 2.0]
+
+    def test_type_filters(self):
+        log = ControllerLog()
+        log.append(pin(1.0))
+        log.append(FlowMod(timestamp=1.1, dpid="sw1"))
+        log.append(PacketOut(timestamp=1.1, dpid="sw1", flow=KEY))
+        log.append(FlowRemoved(timestamp=6.0, dpid="sw1"))
+        assert len(log.packet_ins()) == 1
+        assert len(log.flow_mods()) == 1
+        assert len(log.packet_outs()) == 1
+        assert len(log.flow_removed()) == 1
+
+    def test_filter_predicate(self):
+        log = ControllerLog([pin(1.0, "sw1"), pin(2.0, "sw2")])
+        sub = log.filter(lambda m: m.dpid == "sw2")
+        assert len(sub) == 1
+
+    def test_merged_with(self):
+        a = ControllerLog([pin(1.0, "sw1")])
+        b = ControllerLog([pin(0.5, "sw2")])
+        merged = a.merged_with(b)
+        assert [m.dpid for m in merged] == ["sw2", "sw1"]
+        assert len(a) == 1  # originals untouched
+        assert len(b) == 1
+
+    @given(st.lists(st.floats(0, 100), max_size=50))
+    def test_iteration_always_sorted(self, times):
+        log = ControllerLog()
+        for t in times:
+            log.append(pin(t))
+        stamps = [m.timestamp for m in log]
+        assert stamps == sorted(stamps)
+
+    @given(
+        st.lists(st.floats(0, 100), max_size=50),
+        st.floats(0, 50),
+        st.floats(50, 100),
+    )
+    def test_window_subset_invariant(self, times, lo, hi):
+        log = ControllerLog()
+        for t in times:
+            log.append(pin(t))
+        sub = log.window(lo, hi)
+        assert len(sub) == sum(1 for t in times if lo <= t < hi)

@@ -1,0 +1,215 @@
+"""Unit tests for operator tasks and fault injectors."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    AppCrash,
+    BackgroundTraffic,
+    ControllerFailure,
+    ControllerOverload,
+    FirewallBlock,
+    HighCPU,
+    HostShutdown,
+    LinkFailure,
+    LinkLoss,
+    LoggingMisconfig,
+    SwitchFailure,
+    UnauthorizedAccess,
+)
+from repro.apps.servers import ServerFarm
+from repro.netsim.network import Network
+from repro.netsim.topology import lab_testbed, linear_topology
+from repro.ops.tasks import (
+    NFS_PORT,
+    MountNFSTask,
+    UnmountNFSTask,
+    VMMigrationTask,
+    VMStartupTask,
+    VMStopTask,
+)
+
+
+class TestOperatorTasks:
+    def test_migration_sequence_matches_figure4(self):
+        task = VMMigrationTask("VM1", "A", "B", "NFS")
+        seq = task.flow_sequence(random.Random(1))
+        keys = [k for _, k in seq]
+        # First exchange: A updates the image on NFS:2049.
+        assert keys[0].src == "A" and keys[0].dst == "NFS"
+        assert keys[0].dst_port == NFS_PORT
+        # Migration negotiation on port 8002 both ways.
+        assert any(k.src == "A" and k.dst == "B" and k.dst_port == 8002 for k in keys)
+        assert any(k.src == "B" and k.dst == "A" and k.dst_port == 8002 for k in keys)
+        # Destination syncs with NFS at the end.
+        assert any(k.src == "B" and k.dst == "NFS" for k in keys)
+
+    def test_migration_times_increase(self):
+        task = VMMigrationTask("VM1", "A", "B", "NFS")
+        seq = task.flow_sequence(random.Random(2))
+        times = [t for t, _ in seq]
+        assert times == sorted(times)
+
+    def test_migration_side_effect_moves_host(self):
+        topo = linear_topology(3, 2)
+        net = Network(topo)
+        task = VMMigrationTask("h1", "h2", "h5", "h6", dst_switch="sw3")
+        task.run(net, at=0.0)
+        net.sim.run(until=10.0)
+        assert topo.attachment_switch("h1") == "sw3"
+
+    def test_startup_sequence_hits_services(self):
+        task = VMStartupTask("VM1", dhcp="D", dns="N", ntp="T", nfs="F")
+        keys = [k for _, k in task.flow_sequence(random.Random(3))]
+        assert keys[0].dst == "D" and keys[0].dst_port == 67
+        assert any(k.dst == "N" and k.dst_port == 53 for k in keys)
+        assert any(k.dst == "T" and k.dst_port == 123 for k in keys)
+        assert any(k.dst == "F" and k.dst_port == NFS_PORT for k in keys)
+
+    def test_stop_task_shuts_host_down(self):
+        net = Network(linear_topology(2, 2))
+        task = VMStopTask("h1", "h4")
+        task.run(net, at=0.0)
+        net.sim.run(until=10.0)
+        assert not net.host_is_up("h1")
+
+    def test_mount_unmount_sequences_distinct(self):
+        mount = MountNFSTask("H", "NFS").flow_sequence(random.Random(4))
+        unmount = UnmountNFSTask("H", "NFS").flow_sequence(random.Random(4))
+        mount_ports = [k.dst_port for _, k in mount]
+        unmount_ports = [k.dst_port for _, k in unmount]
+        assert mount_ports != unmount_ports
+
+    def test_involved_hosts(self):
+        task = VMMigrationTask("VM1", "A", "B", "NFS")
+        assert task.involved_hosts() == {"VM1", "A", "B", "NFS"}
+
+    def test_run_injects_flows_into_network(self):
+        net = Network(linear_topology(3, 3))
+        task = MountNFSTask("h1", "h9")
+        task.run(net, at=1.0)
+        net.sim.run(until=20.0)
+        assert any(
+            p.flow.dst_port == NFS_PORT for p in net.log.packet_ins()
+        )
+
+
+class TestFaultInjectors:
+    def setup_method(self):
+        self.net = Network(lab_testbed())
+        self.farm = ServerFarm()
+
+    def test_logging_misconfig(self):
+        LoggingMisconfig("S3", 0.04).apply(self.net, self.farm)
+        assert self.farm.behavior("S3").logging_overhead == 0.04
+        LoggingMisconfig("S3").revert(self.net, self.farm)
+        assert self.farm.behavior("S3").logging_overhead == 0.0
+
+    def test_logging_requires_farm(self):
+        with pytest.raises(ValueError):
+            LoggingMisconfig("S3").apply(self.net, None)
+
+    def test_high_cpu(self):
+        HighCPU("S3", 5.0).apply(self.net, self.farm)
+        assert self.farm.behavior("S3").cpu_factor == 5.0
+
+    def test_app_crash(self):
+        AppCrash("S3").apply(self.net, self.farm)
+        assert self.farm.behavior("S3").crashed
+
+    def test_host_shutdown_and_revert(self):
+        fault = HostShutdown("S5")
+        fault.apply(self.net, self.farm)
+        assert not self.net.host_is_up("S5")
+        fault.revert(self.net, self.farm)
+        assert self.net.host_is_up("S5")
+
+    def test_firewall_block(self):
+        fault = FirewallBlock("S5", 3306)
+        fault.apply(self.net)
+        assert ("S5", 3306) in self.net._blocked
+        fault.revert(self.net)
+        assert ("S5", 3306) not in self.net._blocked
+
+    def test_link_loss(self):
+        fault = LinkLoss([("S1", "ofs3")], 0.05)
+        fault.apply(self.net)
+        assert self.net.topology.link("S1", "ofs3").loss_rate == 0.05
+        fault.revert(self.net)
+        assert self.net.topology.link("S1", "ofs3").loss_rate == 0.0
+
+    def test_link_failure(self):
+        fault = LinkFailure("ofs3", "ofs1")
+        fault.apply(self.net)
+        assert not self.net.topology.link("ofs3", "ofs1").up
+        fault.revert(self.net)
+        assert self.net.topology.link("ofs3", "ofs1").up
+
+    def test_switch_failure(self):
+        fault = SwitchFailure("ofs3")
+        fault.apply(self.net)
+        assert not self.net.switches["ofs3"].live
+        fault.revert(self.net)
+        assert self.net.switches["ofs3"].live
+
+    def test_controller_overload(self):
+        fault = ControllerOverload(8.0)
+        fault.apply(self.net)
+        assert self.net.controller.overload_factor == 8.0
+        fault.revert(self.net)
+        assert self.net.controller.overload_factor == 1.0
+
+    def test_controller_failure(self):
+        fault = ControllerFailure()
+        fault.apply(self.net)
+        assert not self.net.controller.live
+        fault.revert(self.net)
+        assert self.net.controller.live
+
+    def test_background_traffic_generates_flows(self):
+        fault = BackgroundTraffic("S24", "S25", duration=2.0, burst_period=0.1)
+        fault.inject_at(self.net, at=0.0)
+        self.net.sim.run(until=5.0)
+        iperf_pins = [
+            p for p in self.net.log.packet_ins() if p.flow.dst_port == 5001
+        ]
+        assert len(iperf_pins) > 0
+
+    def test_background_traffic_revert_stops(self):
+        fault = BackgroundTraffic("S24", "S25", duration=100.0, burst_period=0.1)
+        fault.inject_at(self.net, at=0.0, until=1.0)
+        self.net.sim.run(until=5.0)
+        last_pin = max(
+            (p.timestamp for p in self.net.log.packet_ins()), default=0.0
+        )
+        assert last_pin < 2.0
+
+    def test_unauthorized_access_creates_new_edges(self):
+        fault = UnauthorizedAccess("S20", ["S3"], n_flows=5, period=0.1)
+        fault.inject_at(self.net, at=0.0)
+        self.net.sim.run(until=5.0)
+        intruder_flows = [
+            p for p in self.net.log.packet_ins() if p.flow.src == "S20"
+        ]
+        assert intruder_flows
+
+    def test_expected_impacts_declared(self):
+        """Every fault declares its Table I / Fig 2(b) ground truth."""
+        faults = [
+            LoggingMisconfig("x"),
+            HighCPU("x"),
+            AppCrash("x"),
+            HostShutdown("x"),
+            FirewallBlock("x", 1),
+            LinkLoss([("a", "b")]),
+            BackgroundTraffic("a", "b"),
+            LinkFailure("a", "b"),
+            SwitchFailure("s"),
+            ControllerOverload(),
+            ControllerFailure(),
+            UnauthorizedAccess("a", ["b"]),
+        ]
+        for fault in faults:
+            assert fault.expected_impacts
+            assert fault.problem_class != "unknown"

@@ -1,0 +1,131 @@
+"""Tests for maintenance-window scheduling and reconciliation."""
+
+import random
+
+import pytest
+
+from repro.core.tasks import TaskLibrary
+from repro.core.tasks.detector import TaskEvent
+from repro.netsim.network import Network
+from repro.netsim.topology import lab_testbed
+from repro.ops import (
+    MaintenanceWindow,
+    MountNFSTask,
+    ScheduledTask,
+    VMStopTask,
+)
+
+
+def event(name, t, hosts=()):
+    return TaskEvent(name=name, t_start=t, t_end=t + 0.5, hosts=frozenset(hosts))
+
+
+class TestReconcile:
+    def window(self):
+        w = MaintenanceWindow()
+        w.add(VMStopTask("VM1", "S20"), at=10.0)
+        w.add(MountNFSTask("S5", "S20"), at=30.0)
+        return w
+
+    def test_perfect_schedule_is_clean(self):
+        w = self.window()
+        detections = [
+            event("vm_stop", 10.5, hosts=("VM1", "S20")),
+            event("mount_nfs", 29.0, hosts=("S5", "S20")),
+        ]
+        rec = w.reconcile(detections)
+        assert rec.clean
+        assert len(rec.matched) == 2
+
+    def test_missed_task_reported(self):
+        w = self.window()
+        rec = w.reconcile([event("vm_stop", 10.5, hosts=("VM1", "S20"))])
+        assert not rec.clean
+        assert len(rec.missed) == 1
+        assert rec.missed[0].task.name == "mount_nfs"
+
+    def test_unexpected_task_reported(self):
+        w = self.window()
+        detections = [
+            event("vm_stop", 10.5, hosts=("VM1", "S20")),
+            event("mount_nfs", 29.0, hosts=("S5", "S20")),
+            event("vm_stop", 50.0, hosts=("VM3", "S20")),  # nobody planned this
+        ]
+        rec = w.reconcile(detections)
+        assert len(rec.unexpected) == 1
+        assert rec.unexpected[0].t_start == 50.0
+
+    def test_out_of_tolerance_is_missed_and_unexpected(self):
+        w = MaintenanceWindow([ScheduledTask(VMStopTask("VM1", "S20"), at=10.0, tolerance=5.0)])
+        rec = w.reconcile([event("vm_stop", 40.0, hosts=("VM1", "S20"))])
+        assert len(rec.missed) == 1
+        assert len(rec.unexpected) == 1
+
+    def test_host_mismatch_not_matched(self):
+        """Someone else's vm_stop cannot satisfy this schedule item."""
+        w = MaintenanceWindow([ScheduledTask(VMStopTask("VM1", "S20"), at=10.0)])
+        rec = w.reconcile([event("vm_stop", 10.0, hosts=("VM9", "S21"))])
+        assert rec.missed and rec.unexpected
+
+    def test_render_mentions_everything(self):
+        w = self.window()
+        rec = w.reconcile([event("vm_stop", 10.5, hosts=("VM1", "S20"))])
+        text = rec.render()
+        assert "ok" in text and "MISSED" in text
+
+
+class TestEndToEnd:
+    def test_schedule_run_detect_reconcile(self):
+        """Full loop on a live network: schedule, execute, detect, reconcile."""
+        net = Network(lab_testbed())
+        window = MaintenanceWindow()
+        window.add(VMStopTask("VM1", "S20"), at=5.0, tolerance=10.0)
+        window.add(MountNFSTask("S5", "S20"), at=15.0, tolerance=10.0)
+
+        library = TaskLibrary()
+        library.learn(
+            "vm_stop",
+            [VMStopTask("VM1", "S20").flow_sequence(random.Random(i)) for i in range(20)],
+            masked=True,
+        )
+        library.learn(
+            "mount_nfs",
+            [MountNFSTask("S5", "S20").flow_sequence(random.Random(i)) for i in range(20)],
+            masked=True,
+        )
+
+        window.run(net, seed=7)
+        net.sim.run(until=40.0)
+        detected = library.detect_in_log(net.log)
+        rec = window.reconcile(detected)
+        assert len(rec.matched) == 2, rec.render()
+        assert not rec.missed
+
+
+class TestReconcileGreedy:
+    def test_two_same_type_items_matched_in_time_order(self):
+        w = MaintenanceWindow()
+        w.add(VMStopTask("VM1", "S20"), at=10.0)
+        w.add(VMStopTask("VM2", "S20"), at=30.0)
+        detections = [
+            event("vm_stop", 30.5, hosts=("VM2", "S20")),
+            event("vm_stop", 10.5, hosts=("VM1", "S20")),
+        ]
+        rec = w.reconcile(detections)
+        assert rec.clean
+        pairing = {item.task.vm: ev.t_start for item, ev in rec.matched}
+        assert pairing == {"VM1": 10.5, "VM2": 30.5}
+
+    def test_detection_not_double_counted(self):
+        w = MaintenanceWindow()
+        w.add(VMStopTask("VM1", "S20"), at=10.0, tolerance=30.0)
+        w.add(VMStopTask("VM1", "S20"), at=20.0, tolerance=30.0)
+        rec = w.reconcile([event("vm_stop", 12.0, hosts=("VM1", "S20"))])
+        assert len(rec.matched) == 1
+        assert len(rec.missed) == 1
+
+    def test_empty_schedule_everything_unexpected(self):
+        w = MaintenanceWindow()
+        rec = w.reconcile([event("vm_stop", 1.0, hosts=("VM1",))])
+        assert not rec.clean
+        assert len(rec.unexpected) == 1

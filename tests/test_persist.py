@@ -1,0 +1,134 @@
+"""Tests for behavior-model persistence."""
+
+import json
+
+import pytest
+
+from repro import FlowDiff
+from repro.core.persist import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.faults import LoggingMisconfig
+from repro.scenarios import three_tier_lab
+
+DURATION = 25.0
+
+
+def capture(fault=None, seed=3):
+    scenario = three_tier_lab(seed=seed)
+    if fault is not None:
+        scenario.inject(fault, at=0.0)
+    return scenario.run(0.5, DURATION)
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return FlowDiff()
+
+
+@pytest.fixture(scope="module")
+def model(fd):
+    return fd.model(capture())
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_structure(self, model):
+        data = model_to_dict(model)
+        restored = model_from_dict(data)
+        assert set(restored.app_signatures) == set(model.app_signatures)
+        assert restored.window == model.window
+        assert restored.stability == model.stability
+        for key in model.app_signatures:
+            orig = model.app_signatures[key]
+            back = restored.app_signatures[key]
+            assert back.group.members == orig.group.members
+            assert back.cg.edges == orig.cg.edges
+            assert back.fs.byte_mean == pytest.approx(orig.fs.byte_mean)
+            assert back.ci.counts == orig.ci.counts
+            assert back.pc.correlations == orig.pc.correlations
+        assert (
+            restored.infrastructure.pt.switch_links
+            == model.infrastructure.pt.switch_links
+        )
+        assert restored.infrastructure.crt.mean == pytest.approx(
+            model.infrastructure.crt.mean
+        )
+
+    def test_json_serializable(self, model):
+        json.dumps(model_to_dict(model))  # no exotic types sneak through
+
+    def test_file_round_trip(self, model, tmp_path):
+        path = str(tmp_path / "baseline.model.json")
+        save_model(model, path)
+        restored = load_model(path)
+        assert set(restored.app_signatures) == set(model.app_signatures)
+
+    def test_version_check(self, model):
+        data = model_to_dict(model)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            model_from_dict(data)
+
+    def test_dd_summaries_preserved(self, model):
+        restored = model_from_dict(model_to_dict(model))
+        key = next(iter(model.app_signatures))
+        orig_dd = model.app_signatures[key].dd
+        back_dd = restored.app_signatures[key].dd
+        for pair in orig_dd.pairs():
+            assert back_dd.dominant_peak(pair) == pytest.approx(
+                orig_dd.dominant_peak(pair)
+            )
+            assert back_dd.mean_delay(pair) == pytest.approx(
+                orig_dd.mean_delay(pair)
+            )
+
+    def test_raw_samples_not_available_after_reload(self, model):
+        restored = model_from_dict(model_to_dict(model))
+        key = next(iter(model.app_signatures))
+        dd = restored.app_signatures[key].dd
+        pair = dd.pairs()[0]
+        with pytest.raises(NotImplementedError):
+            dd.delay_cdf(pair)
+
+
+class TestDiffEquivalence:
+    def test_reloaded_baseline_diffs_identically(self, fd, model):
+        """The headline guarantee: diff(reloaded, X) == diff(original, X)."""
+        restored = model_from_dict(model_to_dict(model))
+        current = fd.model(
+            capture(fault=LoggingMisconfig("S3", 0.05)), assess=False
+        )
+        original_report = fd.diff(model, current)
+        reloaded_report = fd.diff(restored, current)
+        assert [c.brief() for c in reloaded_report.unknown_changes] == [
+            c.brief() for c in original_report.unknown_changes
+        ]
+        assert [p.problem for p in reloaded_report.problems] == [
+            p.problem for p in original_report.problems
+        ]
+        assert reloaded_report.component_ranking == original_report.component_ranking
+
+    def test_reloaded_baseline_healthy_against_healthy(self, fd, model):
+        restored = model_from_dict(model_to_dict(model))
+        current = fd.model(capture(seed=17), assess=False)
+        assert fd.diff(restored, current).healthy
+
+
+class TestPortEventsPersistence:
+    def test_port_events_round_trip(self, fd):
+        from repro.faults import SwitchFailure
+
+        scenario = three_tier_lab(seed=3)
+        scenario.inject(SwitchFailure("ofs5"), at=5.0)
+        log = scenario.run(0.5, DURATION)
+        model = fd.model(log, assess=False)
+        assert model.infrastructure.port_down_events
+        restored = model_from_dict(model_to_dict(model))
+        assert (
+            restored.infrastructure.port_down_events
+            == model.infrastructure.port_down_events
+        )
+        assert "ofs5" in restored.infrastructure.corroborated_dead_switches()

@@ -1,0 +1,161 @@
+"""Tests for the Ryu capture adapter."""
+
+import io
+import json
+
+import pytest
+
+from repro.openflow.messages import FlowRemovedReason
+from repro.openflow.ryu_ingest import event_to_message, load_ryu_log
+
+
+def line(**kwargs):
+    return json.dumps(kwargs)
+
+
+PACKET_IN = dict(
+    event="packet_in",
+    time=12.345,
+    dpid=1,
+    in_port=3,
+    buffer_id=256,
+    match={
+        "ipv4_src": "10.0.0.1",
+        "ipv4_dst": "10.0.0.2",
+        "tcp_src": 43210,
+        "tcp_dst": 80,
+        "ip_proto": 6,
+    },
+)
+
+
+class TestEventConversion:
+    def test_packet_in(self):
+        msg = event_to_message(PACKET_IN)
+        assert msg.timestamp == 12.345
+        assert msg.dpid == "dpid:0000000000000001"
+        assert msg.flow.src == "10.0.0.1"
+        assert msg.flow.dst_port == 80
+        assert msg.flow.proto == "tcp"
+        assert msg.in_port == 3
+
+    def test_udp_match(self):
+        data = dict(PACKET_IN)
+        data["match"] = {
+            "ipv4_src": "10.0.0.1",
+            "ipv4_dst": "10.0.0.53",
+            "udp_src": 5353,
+            "udp_dst": 53,
+            "ip_proto": 17,
+        }
+        msg = event_to_message(data)
+        assert msg.flow.proto == "udp"
+        assert msg.flow.dst_port == 53
+
+    def test_non_ip_packet_skipped(self):
+        data = dict(PACKET_IN)
+        data["match"] = {"eth_type": 2054}  # ARP
+        assert event_to_message(data) is None
+
+    def test_flow_removed_duration_and_reason(self):
+        msg = event_to_message(
+            dict(
+                event="flow_removed",
+                time=19.0,
+                dpid=2,
+                duration_sec=5,
+                duration_nsec=120_000_000,
+                byte_count=1234,
+                packet_count=3,
+                reason=1,
+                match=PACKET_IN["match"],
+            )
+        )
+        assert msg.duration == pytest.approx(5.12)
+        assert msg.byte_count == 1234
+        assert msg.reason == FlowRemovedReason.HARD_TIMEOUT
+
+    def test_flow_mod(self):
+        msg = event_to_message(
+            dict(
+                event="flow_mod",
+                time=12.347,
+                dpid=1,
+                out_port=2,
+                idle_timeout=5,
+                hard_timeout=0,
+                priority=1,
+                match=PACKET_IN["match"],
+            )
+        )
+        assert msg.out_port == 2
+        assert msg.match.src == "10.0.0.1"
+
+    def test_unknown_event_skipped(self):
+        assert event_to_message({"event": "port_stats", "time": 0}) is None
+
+    def test_missing_required_field_raises(self):
+        with pytest.raises(ValueError, match="missing field"):
+            event_to_message({"event": "packet_in", "time": 1.0})
+
+    def test_string_dpid_passthrough(self):
+        data = dict(PACKET_IN, dpid="of:cafe")
+        assert event_to_message(data).dpid == "of:cafe"
+
+
+class TestLoadRyuLog:
+    def test_parses_stream_in_order(self):
+        stream = io.StringIO(
+            "\n".join(
+                [
+                    "# capture from mininet run 7",
+                    line(**PACKET_IN),
+                    "",
+                    line(
+                        event="flow_mod",
+                        time=12.347,
+                        dpid=1,
+                        out_port=2,
+                        match=PACKET_IN["match"],
+                    ),
+                    line(event="echo", time=13.0, dpid=1),  # skipped
+                ]
+            )
+        )
+        log = load_ryu_log(stream)
+        assert len(log) == 2
+        assert len(log.packet_ins()) == 1
+        assert len(log.flow_mods()) == 1
+
+    def test_malformed_json_reports_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_ryu_log(io.StringIO(line(**PACKET_IN) + "\n{broken\n"))
+
+    def test_flowdiff_models_ryu_capture(self):
+        """An ingested capture flows through the normal pipeline."""
+        from repro import FlowDiff
+
+        rows = []
+        t = 0.0
+        for i in range(30):
+            t += 0.5
+            rows.append(
+                line(
+                    event="packet_in",
+                    time=t,
+                    dpid=1,
+                    in_port=1,
+                    match={
+                        "ipv4_src": "10.0.0.1",
+                        "ipv4_dst": "10.0.0.2",
+                        "tcp_src": 40000 + i,
+                        "tcp_dst": 80,
+                        "ip_proto": 6,
+                    },
+                )
+            )
+        log = load_ryu_log(io.StringIO("\n".join(rows)))
+        model = FlowDiff().model(log, assess=False)
+        assert len(model.app_signatures) == 1
+        sig = next(iter(model.app_signatures.values()))
+        assert ("10.0.0.1", "10.0.0.2") in sig.cg.edges

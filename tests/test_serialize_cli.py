@@ -1,0 +1,251 @@
+"""Tests for log serialization and the command-line interface."""
+
+import io
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.openflow.log import ControllerLog
+from repro.openflow.match import FlowKey, Match
+from repro.openflow.messages import (
+    EchoRequest,
+    FlowMod,
+    FlowRemoved,
+    FlowRemovedReason,
+    FlowStatsReply,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+)
+from repro.openflow.serialize import (
+    dump_log,
+    load_log,
+    message_from_json,
+    message_to_json,
+    read_log,
+    save_log,
+)
+
+KEY = FlowKey("a", "b", 1000, 80)
+
+
+def sample_log():
+    log = ControllerLog()
+    log.append(PacketIn(timestamp=1.0, dpid="sw1", flow=KEY, in_port=2, buffer_id=7))
+    log.append(
+        FlowMod(
+            timestamp=1.001,
+            dpid="sw1",
+            match=Match.exact(KEY),
+            out_port=3,
+            idle_timeout=5.0,
+            in_reply_to=7,
+        )
+    )
+    log.append(PacketOut(timestamp=1.001, dpid="sw1", flow=KEY, out_port=3, buffer_id=7))
+    log.append(
+        FlowRemoved(
+            timestamp=7.0,
+            dpid="sw1",
+            match=Match.exact(KEY),
+            duration=1.2,
+            byte_count=999,
+            packet_count=3,
+            reason=FlowRemovedReason.IDLE_TIMEOUT,
+        )
+    )
+    log.append(PortStatus(timestamp=8.0, dpid="sw2", port=4, live=False))
+    log.append(
+        FlowStatsReply(
+            timestamp=9.0, dpid="sw1", match=Match.destination("b"), byte_count=5
+        )
+    )
+    log.append(EchoRequest(timestamp=10.0, dpid="sw1", replied=False))
+    return log
+
+
+class TestSerialization:
+    def test_round_trip_all_message_types(self):
+        log = sample_log()
+        buf = io.StringIO()
+        count = dump_log(log, buf)
+        assert count == len(log)
+        buf.seek(0)
+        restored = load_log(buf)
+        assert list(restored) == list(log)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "capture.jsonl")
+        log = sample_log()
+        save_log(log, path)
+        restored = read_log(path)
+        assert len(restored) == len(log)
+        assert restored.packet_ins()[0].flow == KEY
+
+    def test_blank_lines_skipped(self):
+        log = sample_log()
+        buf = io.StringIO()
+        dump_log(log, buf)
+        content = "\n\n" + buf.getvalue() + "\n\n"
+        restored = load_log(io.StringIO(content))
+        assert len(restored) == len(log)
+
+    def test_malformed_json_reports_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            load_log(io.StringIO("{nope\n"))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown control message"):
+            message_from_json({"type": "mystery", "ts": 0.0, "dpid": "x"})
+
+    def test_unknown_class_rejected(self):
+        class Fake:
+            timestamp = 0.0
+            dpid = "x"
+
+        with pytest.raises(TypeError):
+            message_to_json(Fake())  # type: ignore[arg-type]
+
+    @given(
+        st.floats(0, 1e6),
+        st.sampled_from(["sw1", "sw2"]),
+        st.integers(1, 65535),
+        st.integers(1, 65535),
+    )
+    @settings(max_examples=30)
+    def test_packet_in_round_trip_property(self, ts, dpid, sport, dport):
+        msg = PacketIn(
+            timestamp=ts,
+            dpid=dpid,
+            flow=FlowKey("x", "y", sport, dport, "udp"),
+            in_port=1,
+        )
+        assert message_from_json(message_to_json(msg)) == msg
+
+    def test_wildcard_match_round_trip(self):
+        msg = FlowMod(timestamp=1.0, dpid="sw1", match=Match.destination("z"), out_port=1)
+        restored = message_from_json(message_to_json(msg))
+        assert restored.match == Match.destination("z")
+        assert not restored.match.is_microflow
+
+
+class TestCLI:
+    def test_simulate_inspect_diff_workflow(self, tmp_path, capsys):
+        baseline = str(tmp_path / "l1.jsonl")
+        current = str(tmp_path / "l2.jsonl")
+        assert main(["simulate", "--out", baseline, "--duration", "20"]) == 0
+        assert main(
+            [
+                "simulate",
+                "--out",
+                current,
+                "--duration",
+                "20",
+                "--fault",
+                "logging",
+                "--target",
+                "S3",
+            ]
+        ) == 0
+
+        assert main(["inspect", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "PacketIn=" in out
+        assert "group [" in out
+
+        # Healthy diff exits 0; fault diff exits 1 and names the suspect.
+        assert main(["diff", baseline, baseline]) == 0
+        rc = main(["diff", baseline, current])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "S3" in out
+        assert "DD" in out
+
+    def test_unknown_fault_rejected(self, tmp_path):
+        out = str(tmp_path / "x.jsonl")
+        assert main(["simulate", "--out", out, "--fault", "gremlins"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCLIRyuFormat:
+    def test_inspect_ryu_capture(self, tmp_path, capsys):
+        import json as _json
+
+        path = tmp_path / "ryu.jsonl"
+        rows = []
+        for i in range(12):
+            rows.append(
+                _json.dumps(
+                    dict(
+                        event="packet_in",
+                        time=0.5 * i,
+                        dpid=1,
+                        in_port=1,
+                        match={
+                            "ipv4_src": "10.0.0.1",
+                            "ipv4_dst": "10.0.0.2",
+                            "tcp_src": 40000 + i,
+                            "tcp_dst": 80,
+                            "ip_proto": 6,
+                        },
+                    )
+                )
+            )
+        path.write_text("\n".join(rows))
+        assert main(["inspect", str(path), "--format", "ryu", "--no-stability"]) == 0
+        out = capsys.readouterr().out
+        assert "PacketIn=12" in out
+        assert "10.0.0.1" in out
+
+
+class TestCLIModelPersistence:
+    def test_model_then_diff_with_stored_baseline(self, tmp_path, capsys):
+        l1 = str(tmp_path / "l1.jsonl")
+        l2 = str(tmp_path / "l2.jsonl")
+        mdl = str(tmp_path / "baseline.model.json")
+        assert main(["simulate", "--out", l1, "--duration", "20"]) == 0
+        assert main(
+            ["simulate", "--out", l2, "--duration", "20", "--fault", "logging"]
+        ) == 0
+        assert main(["model", l1, "--out", mdl]) == 0
+        out = capsys.readouterr().out
+        assert "wrote baseline model" in out
+        rc = main(["diff", mdl, l2, "--baseline-model"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DD" in out
+
+
+class TestCLIErrorPaths:
+    def test_model_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["model", str(tmp_path / "nope.jsonl"), "--out", str(tmp_path / "m.json")])
+
+    def test_diff_with_corrupt_model(self, tmp_path):
+        bad = tmp_path / "bad.model.json"
+        bad.write_text('{"version": 42}')
+        capture = str(tmp_path / "l.jsonl")
+        assert main(["simulate", "--out", capture, "--duration", "5"]) == 0
+        with pytest.raises(ValueError, match="version"):
+            main(["diff", str(bad), capture, "--baseline-model"])
+
+
+class TestCLIHtmlReport:
+    def test_diff_writes_html(self, tmp_path, capsys):
+        l1 = str(tmp_path / "l1.jsonl")
+        l2 = str(tmp_path / "l2.jsonl")
+        out = str(tmp_path / "report.html")
+        assert main(["simulate", "--out", l1, "--duration", "15"]) == 0
+        assert main(
+            ["simulate", "--out", l2, "--duration", "15", "--fault", "logging"]
+        ) == 0
+        rc = main(["diff", l1, l2, "--html", out])
+        assert rc == 1
+        content = open(out).read()
+        assert "<!DOCTYPE html>" in content
+        assert "S3" in content

@@ -1,0 +1,194 @@
+"""Unit and property tests for frequent-sequence mining (Section III-D)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tasks.mining import (
+    closed_frequent_patterns,
+    common_flows,
+    filter_to_common,
+    frequent_contiguous_patterns,
+    mine_states,
+)
+
+
+class TestCommonFlows:
+    def test_intersection(self):
+        runs = [["a", "b", "c"], ["b", "c", "d"], ["c", "b"]]
+        assert common_flows(runs) == {"b", "c"}
+
+    def test_single_run(self):
+        assert common_flows([["a", "b"]]) == {"a", "b"}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            common_flows([])
+
+    def test_filter_preserves_order(self):
+        runs = [["a", "x", "b"], ["b", "a"]]
+        filtered = filter_to_common(runs, {"a", "b"})
+        assert filtered == [["a", "b"], ["b", "a"]]
+
+
+class TestPaperExample:
+    """The worked example of Section III-D / Figure 6."""
+
+    RUNS = [
+        ["f1", "f2", "f3", "f4", "f5"],
+        ["f3", "f4", "f5", "f1"],
+        ["f3", "f4", "f5", "f2", "f1"],
+    ]
+
+    def test_frequent_patterns_match_figure6a(self):
+        freq = frequent_contiguous_patterns(self.RUNS, min_sup=0.6)
+        # Length-1: all five flows; f2 has support 2 (>= 0.6*3 = 1.8).
+        assert freq[("f1",)] == 3
+        assert freq[("f2",)] == 2
+        assert freq[("f3",)] == 3
+        # Length-2 survivors.
+        assert freq[("f3", "f4")] == 3
+        assert freq[("f4", "f5")] == 3
+        assert ("f1", "f2") not in freq  # support 1, below threshold
+        assert ("f5", "f1") not in freq
+        # Length-3 terminal pattern.
+        assert freq[("f3", "f4", "f5")] == 3
+        assert not any(len(p) > 3 for p in freq)
+
+    def test_closed_pruning_matches_paper(self):
+        """f3, f4, f5, f3f4 and f4f5 are subsumed by f3f4f5."""
+        closed = closed_frequent_patterns(
+            frequent_contiguous_patterns(self.RUNS, min_sup=0.6)
+        )
+        assert ("f3", "f4", "f5") in closed
+        assert ("f3",) not in closed
+        assert ("f4",) not in closed
+        assert ("f5",) not in closed
+        assert ("f3", "f4") not in closed
+        assert ("f4", "f5") not in closed
+        # f1 and f2 survive: no superset has their support.
+        assert ("f1",) in closed
+        assert ("f2",) in closed
+
+
+class TestMiningMechanics:
+    def test_support_counted_once_per_run(self):
+        runs = [["a", "a", "a"], ["b"]]
+        freq = frequent_contiguous_patterns(runs, min_sup=0.5)
+        assert freq[("a",)] == 1
+
+    def test_min_sup_validation(self):
+        with pytest.raises(ValueError):
+            frequent_contiguous_patterns([["a"]], min_sup=0.0)
+        with pytest.raises(ValueError):
+            frequent_contiguous_patterns([["a"]], min_sup=1.5)
+        with pytest.raises(ValueError):
+            frequent_contiguous_patterns([], min_sup=0.5)
+
+    def test_max_length_caps_patterns(self):
+        runs = [["a", "b", "c", "d"]] * 2
+        freq = frequent_contiguous_patterns(runs, min_sup=1.0, max_length=2)
+        assert max(len(p) for p in freq) == 2
+
+    def test_contiguity_requirement(self):
+        """a..c is not contiguous in 'abc' runs interrupted by b."""
+        runs = [["a", "b", "c"], ["a", "b", "c"]]
+        freq = frequent_contiguous_patterns(runs, min_sup=1.0)
+        assert ("a", "c") not in freq
+        assert ("a", "b", "c") in freq
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcd"), min_size=1, max_size=8),
+            min_size=1,
+            max_size=5,
+        ),
+        st.floats(0.3, 1.0),
+    )
+    @settings(max_examples=50)
+    def test_support_threshold_respected(self, runs, min_sup):
+        freq = frequent_contiguous_patterns(runs, min_sup=min_sup)
+        for pattern, support in freq.items():
+            assert support >= min_sup * len(runs) - 1e-9
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abc"), min_size=1, max_size=6),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50)
+    def test_closed_is_subset_with_same_supports(self, runs):
+        freq = frequent_contiguous_patterns(runs, min_sup=0.5)
+        closed = closed_frequent_patterns(freq)
+        assert set(closed) <= set(freq)
+        for pattern, support in closed.items():
+            assert freq[pattern] == support
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("ab"), min_size=1, max_size=6),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50)
+    def test_mine_states_covers_all_common_flows(self, runs):
+        """Every common flow appears inside some mined state (when min_sup<=1)."""
+        common = common_flows(runs)
+        if not common:
+            return
+        filtered = filter_to_common(runs, common)
+        states = mine_states(filtered, min_sup=1.0)
+        covered = {f for pattern in states for f in pattern}
+        assert covered == common
+
+
+class TestAutomatonInvariants:
+    """Property tests over the full mining -> automaton pipeline."""
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abc"), min_size=1, max_size=7),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60)
+    def test_automaton_accepts_every_training_run(self, runs):
+        """Section III-D: 'all extracted logs can be precisely represented
+        by the constructed automata' — for arbitrary run sets."""
+        from repro.core.tasks.automaton import TaskAutomaton
+
+        common = common_flows(runs)
+        if not common:
+            return
+        filtered = [run for run in filter_to_common(runs, common) if run]
+        if not filtered:
+            return
+        automaton = TaskAutomaton.build(filtered, min_sup=0.6)
+        for run in filtered:
+            assert automaton.accepts(run), (runs, run, automaton.patterns)
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcd"), min_size=1, max_size=6),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40)
+    def test_state_patterns_are_mined_or_singletons(self, runs):
+        from repro.core.tasks.automaton import TaskAutomaton
+        from repro.core.tasks.mining import mine_states
+
+        common = common_flows(runs)
+        if not common:
+            return
+        filtered = [run for run in filter_to_common(runs, common) if run]
+        if not filtered:
+            return
+        automaton = TaskAutomaton.build(filtered, min_sup=0.6)
+        mined = set(mine_states(filtered, min_sup=0.6))
+        for pattern in automaton.patterns:
+            assert pattern in mined or len(pattern) == 1

@@ -1,0 +1,121 @@
+"""Tests for task-library persistence."""
+
+import json
+
+import pytest
+
+from repro.core.tasks import TaskLibrary
+from repro.core.tasks.serialize import (
+    library_from_dict,
+    library_to_dict,
+    load_library,
+    save_library,
+)
+from repro.workload.traces import VMTraceSynthesizer
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return VMTraceSynthesizer.ec2_quartet(seed=7)
+
+
+@pytest.fixture(scope="module")
+def library(synth):
+    lib = TaskLibrary(service_names=synth.service_names())
+    lib.learn("startup", synth.training_runs("i-3486634d", 30), masked=True)
+    lib.learn(
+        "startup_exact",
+        synth.training_runs("i-c5ebf1a3", 30),
+        masked=False,
+    )
+    return lib
+
+
+class TestLibraryRoundTrip:
+    def test_dict_round_trip(self, library):
+        restored = library_from_dict(library_to_dict(library))
+        assert set(restored.signatures) == set(library.signatures)
+        assert restored.service_names == library.service_names
+        for name in library.signatures:
+            orig = library.signatures[name].automaton
+            back = restored.signatures[name].automaton
+            assert back.patterns == orig.patterns
+            assert back.transitions == orig.transitions
+            assert back.start_states == orig.start_states
+            assert back.accept_states == orig.accept_states
+
+    def test_json_serializable(self, library):
+        json.dumps(library_to_dict(library))
+
+    def test_file_round_trip(self, library, tmp_path):
+        path = str(tmp_path / "tasks.json")
+        save_library(library, path)
+        restored = load_library(path)
+        assert set(restored.signatures) == set(library.signatures)
+
+    def test_version_check(self, library):
+        data = library_to_dict(library)
+        data["version"] = 7
+        with pytest.raises(ValueError, match="version"):
+            library_from_dict(data)
+
+    def test_unknown_label_tag_rejected(self):
+        from repro.core.tasks.serialize import _label_from_json
+
+        with pytest.raises(ValueError, match="unknown task label"):
+            _label_from_json({"t": "mystery"})
+
+
+class TestDetectionEquivalence:
+    def test_reloaded_library_detects_identically(self, synth, library):
+        restored = library_from_dict(library_to_dict(library))
+        for i in range(200, 210):
+            run = synth.startup_run("i-3486634d", i)
+            orig_events = [
+                (e.name, round(e.t_start, 6)) for e in library.detect(run)
+            ]
+            back_events = [
+                (e.name, round(e.t_start, 6)) for e in restored.detect(run)
+            ]
+            assert orig_events == back_events
+
+    def test_masked_and_unmasked_coexist(self, synth, library):
+        restored = library_from_dict(library_to_dict(library))
+        assert restored.signatures["startup"].masked
+        assert not restored.signatures["startup_exact"].masked
+
+
+class TestCLITaskLibrary:
+    def test_diff_with_stored_task_library(self, tmp_path, capsys):
+        """Full CLI loop: learn, store, use to explain a VM stop."""
+        import random
+
+        from repro.cli import main
+        from repro.core.tasks import TaskLibrary, save_library
+        from repro.openflow.serialize import save_log
+        from repro.ops import VMStopTask
+        from repro.scenarios import three_tier_lab
+
+        l1 = str(tmp_path / "l1.jsonl")
+        l2 = str(tmp_path / "l2.jsonl")
+        tasks = str(tmp_path / "tasks.json")
+
+        save_log(three_tier_lab(seed=3).run(0.5, 20.0), l1)
+        scenario = three_tier_lab(seed=3)
+        VMStopTask("VM1", "S20").run(scenario.network, at=10.0)
+        save_log(scenario.run(0.5, 20.0), l2)
+
+        library = TaskLibrary()
+        library.learn(
+            "vm_stop",
+            [
+                VMStopTask("VM1", "S20").flow_sequence(random.Random(i))
+                for i in range(20)
+            ],
+            masked=True,
+        )
+        save_library(library, tasks)
+
+        main(["diff", l1, l2, "--tasks", tasks])
+        out = capsys.readouterr().out
+        assert "vm_stop" in out  # the task was detected and attributed

@@ -1,0 +1,200 @@
+"""Unit tests for arrival processes, scalability traffic, and trace synthesis."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.network import Network
+from repro.netsim.topology import paper_tree
+from repro.workload.arrivals import (
+    FixedProcess,
+    OnOffProcess,
+    PoissonProcess,
+    lognormal_params,
+)
+from repro.workload.traces import TraceConfig, VMImage, VMTraceSynthesizer
+from repro.workload.traffic import RandomThreeTierWorkload, WorkloadStats
+
+
+class TestLognormalParams:
+    def test_moments_recovered(self):
+        mu, sigma = lognormal_params(0.1, 0.03)
+        rng = random.Random(5)
+        samples = [rng.lognormvariate(mu, sigma) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert mean == pytest.approx(0.1, rel=0.05)
+        assert math.sqrt(var) == pytest.approx(0.03, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lognormal_params(0.0, 0.1)
+        with pytest.raises(ValueError):
+            lognormal_params(1.0, -0.1)
+
+    @given(st.floats(0.01, 100), st.floats(0, 10))
+    def test_sigma_nonnegative(self, mean, std):
+        _, sigma = lognormal_params(mean, std)
+        assert sigma >= 0.0
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_interarrival(self):
+        proc = PoissonProcess(50.0, random.Random(2))
+        gaps = [proc.next_interarrival() for _ in range(5000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(1 / 50.0, rel=0.1)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0, random.Random(1))
+
+    def test_fixed_process(self):
+        proc = FixedProcess(0.25)
+        assert [proc.next_interarrival() for _ in range(3)] == [0.25] * 3
+        with pytest.raises(ValueError):
+            FixedProcess(0.0)
+
+    def test_onoff_produces_positive_gaps(self):
+        proc = OnOffProcess(random.Random(3))
+        gaps = [proc.next_interarrival() for _ in range(1000)]
+        assert all(g > 0 for g in gaps)
+
+    def test_onoff_has_bursts_and_silences(self):
+        """ON/OFF gaps are bimodal: small within-burst, large across OFF."""
+        proc = OnOffProcess(
+            random.Random(4), on_rate=200.0, on_mean=0.1, off_mean=0.1
+        )
+        gaps = [proc.next_interarrival() for _ in range(3000)]
+        small = sum(1 for g in gaps if g < 0.02)
+        large = sum(1 for g in gaps if g > 0.05)
+        assert small > 100
+        assert large > 100
+
+    def test_onoff_validation(self):
+        with pytest.raises(ValueError):
+            OnOffProcess(random.Random(1), on_rate=0.0)
+
+
+class TestRandomThreeTierWorkload:
+    def make(self, n_apps=3, **kwargs):
+        net = Network(paper_tree(racks=4, servers_per_rack=5))
+        return net, RandomThreeTierWorkload(net, n_apps=n_apps, **kwargs)
+
+    def test_placement_counts(self):
+        _, wl = self.make(5)
+        assert len(wl.apps) == 5
+        for app in wl.apps:
+            assert app.web and app.app and app.db
+
+    def test_pairs_cover_all_tiers(self):
+        _, wl = self.make(1)
+        pairs = wl.apps[0].pairs()
+        assert all(port in (8009, 3306) for _, _, port in pairs)
+        assert len(pairs) == len(wl.apps[0].web) * len(wl.apps[0].app) + len(
+            wl.apps[0].app
+        ) * len(wl.apps[0].db)
+
+    def test_traffic_generates_packet_ins(self):
+        net, wl = self.make(2)
+        wl.start(0.0, 5.0)
+        net.sim.run(until=7.0)
+        assert len(net.log.packet_ins()) > 0
+        assert wl.stats.bursts > 0
+
+    def test_connection_reuse_rate(self):
+        net, wl = self.make(3, reuse_prob=0.6)
+        wl.start(0.0, 10.0)
+        net.sim.run(until=12.0)
+        total = wl.stats.new_connections + wl.stats.reused_connections
+        reuse_frac = wl.stats.reused_connections / total
+        assert 0.4 < reuse_frac < 0.75
+
+    def test_zero_reuse_all_new(self):
+        net, wl = self.make(2, reuse_prob=0.0)
+        wl.start(0.0, 3.0)
+        net.sim.run(until=5.0)
+        assert wl.stats.reused_connections == 0
+
+    def test_packet_in_rate_buckets(self):
+        net, wl = self.make(2)
+        wl.start(0.0, 5.0)
+        net.sim.run(until=7.0)
+        rates = WorkloadStats.packet_in_rate(net.log, bucket=1.0)
+        assert sum(rates) == len(net.log.packet_ins())
+
+    def test_deterministic_given_seed(self):
+        net1, wl1 = self.make(2, seed=42)
+        wl1.start(0.0, 3.0)
+        net1.sim.run(until=5.0)
+        net2, wl2 = self.make(2, seed=42)
+        wl2.start(0.0, 3.0)
+        net2.sim.run(until=5.0)
+        assert len(net1.log.packet_ins()) == len(net2.log.packet_ins())
+
+
+class TestVMTraceSynthesizer:
+    def test_quartet_has_four_vms(self):
+        synth = VMTraceSynthesizer.ec2_quartet()
+        assert len(synth.vms) == 4
+        assert "i-c5ebf1a3" in synth.vms
+
+    def test_runs_deterministic(self):
+        synth = VMTraceSynthesizer.ec2_quartet(seed=5)
+        r1 = synth.startup_run("i-3486634d", 3)
+        r2 = synth.startup_run("i-3486634d", 3)
+        assert r1 == r2
+
+    def test_runs_vary_across_indices(self):
+        synth = VMTraceSynthesizer.ec2_quartet(seed=5)
+        runs = {tuple(k for _, k in synth.startup_run("i-3486634d", i)) for i in range(10)}
+        assert len(runs) > 1
+
+    def test_times_sorted_and_positive(self):
+        synth = VMTraceSynthesizer.ec2_quartet()
+        run = synth.startup_run("i-5d021f3b", 0, start_time=100.0)
+        times = [t for t, _ in run]
+        assert times == sorted(times)
+        assert times[0] >= 100.0
+
+    def test_vm_ip_consistency(self):
+        synth = VMTraceSynthesizer.ec2_quartet()
+        run = synth.startup_run("i-3486634d", 0)
+        vm_ip = synth.vm_ips["i-3486634d"]
+        assert all(k.src == vm_ip for _, k in run)
+
+    def test_unknown_vm_raises(self):
+        synth = VMTraceSynthesizer.ec2_quartet()
+        with pytest.raises(KeyError):
+            synth.startup_run("i-nope", 0)
+
+    def test_noise_interleaving(self):
+        cfg = TraceConfig(noise_rate=50.0)
+        synth = VMTraceSynthesizer.ec2_quartet(seed=5, config=cfg)
+        clean = VMTraceSynthesizer.ec2_quartet(seed=5)
+        noisy_run = synth.startup_run("i-3486634d", 0)
+        clean_run = clean.startup_run("i-3486634d", 0)
+        assert len(noisy_run) > len(clean_run)
+
+    def test_to_log_wraps_packet_ins(self):
+        synth = VMTraceSynthesizer.ec2_quartet()
+        run = synth.startup_run("i-3486634d", 0)
+        log = VMTraceSynthesizer.to_log(run)
+        assert len(log.packet_ins()) == len(run)
+
+    def test_training_runs_count(self):
+        synth = VMTraceSynthesizer.ec2_quartet()
+        assert len(synth.training_runs("i-c5ebf1a3", 10)) == 10
+
+    def test_service_names_mapping(self):
+        synth = VMTraceSynthesizer.ec2_quartet()
+        names = synth.service_names()
+        assert names["169.254.169.254"] == "METADATA"
+
+    def test_ami_variants_share_base_ubuntu_differs(self):
+        ami = VMImage.amazon_ami(0)
+        ubu = VMImage.ubuntu()
+        ami_ports = [s.dport for s in ami.sequence]
+        ubu_ports = [s.dport for s in ubu.sequence]
+        assert ami_ports != ubu_ports
