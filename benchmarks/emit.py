@@ -1,0 +1,96 @@
+"""Emit the machine-readable perf baseline: ``BENCH_pipeline.json``.
+
+Runs the fixed seeded scenario (the same one the microbenchmarks use),
+profiles a full model + diff pass with the :mod:`repro.obs` tracer, and
+writes the phase timings as JSON at the repository root. Every PR from
+this one onward regenerates the file, so the perf trajectory of the
+pipeline is diffable commit to commit without parsing pytest-benchmark
+output.
+
+Run directly (``python benchmarks/emit.py [--out PATH]``) or let the
+benchmark suite's ``pytest_sessionfinish`` hook produce it as a side
+effect of a normal benchmark run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Any, Dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_pipeline.json")
+
+#: The fixed scenario: seed and capture duration of the profiled run.
+BENCH_SEED = 3
+BENCH_DURATION = 30.0
+
+
+def run_pipeline_bench(
+    seed: int = BENCH_SEED, duration: float = BENCH_DURATION, repeats: int = 3
+) -> Dict[str, Any]:
+    """Profile model+diff on the seeded lab capture; return the payload.
+
+    The simulation itself is *not* part of the timed region (it stands in
+    for capture ingestion); each repeat re-runs the full modeling and
+    diffing pipeline and the fastest repeat is reported, pytest-benchmark
+    style, to suppress scheduler noise.
+    """
+    from repro import FlowDiff
+    from repro.obs import Tracer, phase_timings
+    from repro.scenarios import three_tier_lab
+
+    log = three_tier_lab(seed=seed).run(0.5, duration)
+
+    best: Dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        tracer = Tracer()
+        fd = FlowDiff(tracer=tracer)
+        baseline = fd.model(log)
+        current = fd.model(log, assess=False)
+        fd.diff(baseline, current)
+        timings = phase_timings(tracer)
+        if not best or timings.get("model", 0.0) + timings.get("diff", 0.0) < (
+            best.get("model", 0.0) + best.get("diff", 0.0)
+        ):
+            best = timings
+
+    return {
+        "benchmark": "pipeline",
+        "seed": seed,
+        "duration_s": duration,
+        "messages": len(log),
+        "phases": {name: round(seconds, 6) for name, seconds in sorted(best.items())},
+        "total_s": round(best.get("model", 0.0) + best.get("diff", 0.0), 6),
+        "python": platform.python_version(),
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def emit(path: str = DEFAULT_OUT, **kwargs: Any) -> str:
+    """Write the pipeline benchmark JSON to ``path`` and return the path."""
+    payload = run_pipeline_bench(**kwargs)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument("--duration", type=float, default=BENCH_DURATION)
+    args = parser.parse_args()
+    path = emit(args.out, seed=args.seed, duration=args.duration)
+    with open(path) as fh:
+        print(fh.read())
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

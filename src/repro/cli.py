@@ -1,4 +1,4 @@
-"""Command-line interface: capture, model, and diff controller logs.
+"""Command-line interface: capture, model, diff, and profile controller logs.
 
 Usage (also via ``python -m repro``):
 
@@ -7,8 +7,15 @@ Usage (also via ``python -m repro``):
   in for a live capture.
 * ``repro inspect baseline.jsonl`` — summarize a capture: message counts,
   span, application groups, signature digests.
+* ``repro stats baseline.jsonl`` — fast telemetry-only summary (message
+  mix, rates, top talkers) without modeling anything.
 * ``repro diff baseline.jsonl current.jsonl`` — the paper's workflow:
   model both captures and print the diagnosis report.
+
+``simulate``, ``model``, and ``diff`` accept ``--profile`` (print a
+per-phase timing table) and ``--metrics-out FILE.jsonl`` (export the full
+metrics registry plus trace spans as JSON lines); ``-v/-vv`` raises the
+root logging level for every module at once.
 
 The CLI exists so stored captures can be analyzed without writing Python;
 every command maps 1:1 onto the library API.
@@ -17,20 +24,48 @@ every command maps 1:1 onto the library API.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.flowdiff import FlowDiff, FlowDiffConfig
 from repro.core.signatures.application import SignatureConfig
+from repro.obs.export import write_jsonl
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
+from repro.obs.profile import render_phase_table
+from repro.obs.stats import record_log_metrics, render_summary, summarize_log
+from repro.obs.tracing import NOOP_TRACER, Tracer
 from repro.openflow.ryu_ingest import read_ryu_log
 from repro.openflow.serialize import read_log, save_log
+
+logger = logging.getLogger(__name__)
 
 
 def _read(path: str, fmt: str):
     """Load a capture in the requested format (native JSONL or Ryu dump)."""
+    logger.debug("reading %s capture from %s", fmt, path)
     if fmt == "ryu":
         return read_ryu_log(path)
     return read_log(path)
+
+
+def _obs_context(args: argparse.Namespace) -> Tuple[MetricsRegistry, Tracer]:
+    """Real instruments when the run wants telemetry, no-ops otherwise."""
+    if getattr(args, "profile", False) or getattr(args, "metrics_out", None):
+        return MetricsRegistry(), Tracer()
+    return NOOP_REGISTRY, NOOP_TRACER
+
+
+def _finish_obs(
+    args: argparse.Namespace, metrics: MetricsRegistry, tracer: Tracer, command: str
+) -> None:
+    """Print the profile table and/or write the JSONL export, if asked."""
+    if getattr(args, "profile", False):
+        print(render_phase_table(tracer))
+    out = getattr(args, "metrics_out", None)
+    if out:
+        lines = write_jsonl(out, metrics, tracer, extra={"command": command})
+        print(f"wrote {lines} telemetry events to {out}")
 
 #: Faults injectable from the command line (name -> factory taking a target).
 _CLI_FAULTS = {
@@ -50,16 +85,21 @@ def _host_fault(kind: str, target: str):
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.scenarios import three_tier_lab
 
-    scenario = three_tier_lab(seed=args.seed)
+    metrics, tracer = _obs_context(args)
+    scenario = three_tier_lab(seed=args.seed, metrics=metrics)
     if args.fault:
         factory = _CLI_FAULTS.get(args.fault)
         if factory is None:
             print(f"unknown fault {args.fault!r}; choices: {sorted(_CLI_FAULTS)}")
             return 2
         scenario.inject(factory(args.target), at=0.0)
-    log = scenario.run(0.5, args.duration)
+    with tracer.span("simulate", seed=args.seed, duration=args.duration):
+        log = scenario.run(0.5, args.duration)
+    record_log_metrics(metrics, log, role="capture")
+    logger.info("simulated %.1fs -> %d control messages", args.duration, len(log))
     count = save_log(log, args.out)
     print(f"wrote {count} control messages to {args.out}")
+    _finish_obs(args, metrics, tracer, "simulate")
     return 0
 
 
@@ -91,25 +131,45 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 def _cmd_model(args: argparse.Namespace) -> int:
     from repro.core.persist import save_model
 
-    fd = FlowDiff(_config(args))
-    model = fd.model(_read(args.log, args.format))
+    metrics, tracer = _obs_context(args)
+    fd = FlowDiff(_config(args), tracer=tracer, metrics=metrics)
+    log = _read(args.log, args.format)
+    record_log_metrics(metrics, log, role="baseline")
+    model = fd.model(log)
     save_model(model, args.out)
     print(
         f"wrote baseline model ({len(model.app_signatures)} group(s), "
         f"window [{model.window[0]:.1f}, {model.window[1]:.1f}]s) to {args.out}"
     )
+    _finish_obs(args, metrics, tracer, "model")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    log = _read(args.log, args.format)
+    summary = summarize_log(log, top=args.top)
+    print(render_summary(summary, name=args.log))
+    if args.metrics_out:
+        metrics = MetricsRegistry()
+        record_log_metrics(metrics, log, role="capture")
+        lines = write_jsonl(args.metrics_out, metrics, extra={"command": "stats"})
+        print(f"wrote {lines} telemetry events to {args.metrics_out}")
     return 0
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.core.persist import load_model
 
-    fd = FlowDiff(_config(args))
+    metrics, tracer = _obs_context(args)
+    fd = FlowDiff(_config(args), tracer=tracer, metrics=metrics)
     if args.baseline_model:
         baseline = load_model(args.baseline)
     else:
-        baseline = fd.model(_read(args.baseline, args.format))
+        baseline_log = _read(args.baseline, args.format)
+        record_log_metrics(metrics, baseline_log, role="baseline")
+        baseline = fd.model(baseline_log)
     current_log = _read(args.current, args.format)
+    record_log_metrics(metrics, current_log, role="current")
     current = fd.model(current_log, assess=False)
     task_library = None
     if args.tasks:
@@ -128,6 +188,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         print(report.to_json())
     elif not args.html:
         print(report.render())
+    _finish_obs(args, metrics, tracer, "diff")
     return 0 if report.healthy else 1
 
 
@@ -136,11 +197,32 @@ def _config(args: argparse.Namespace) -> FlowDiffConfig:
     return FlowDiffConfig(signature=SignatureConfig(special_nodes=special))
 
 
+def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """The shared observability surface of simulate/model/diff."""
+    sub_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run instrumented and print a per-phase timing table",
+    )
+    sub_parser.add_argument(
+        "--metrics-out",
+        metavar="FILE.jsonl",
+        help="export metrics (and trace spans) as JSON lines to this path",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FlowDiff: diagnose data center behavior flow by flow",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise logging verbosity (-v INFO, -vv DEBUG) for all modules",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -150,7 +232,28 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=3)
     sim.add_argument("--fault", help=f"inject a fault: {sorted(_CLI_FAULTS)}")
     sim.add_argument("--target", default="S3", help="fault target host")
+    _add_obs_flags(sim)
     sim.set_defaults(fn=_cmd_simulate)
+
+    stats = sub.add_parser(
+        "stats", help="summarize a capture's telemetry without modeling it"
+    )
+    stats.add_argument("log")
+    stats.add_argument(
+        "--top", type=int, default=5, help="how many talkers/switches to list"
+    )
+    stats.add_argument(
+        "--metrics-out",
+        metavar="FILE.jsonl",
+        help="also export the message-mix counters as JSON lines",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("native", "ryu"),
+        default="native",
+        help="capture format: native JSONL or a Ryu event dump",
+    )
+    stats.set_defaults(fn=_cmd_stats)
 
     insp = sub.add_parser("inspect", help="summarize a stored capture")
     insp.add_argument("log")
@@ -174,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="native",
         help="capture format: native JSONL or a Ryu event dump",
     )
+    _add_obs_flags(mdl)
     mdl.set_defaults(fn=_cmd_model)
 
     diff = sub.add_parser("diff", help="diff two captures (L1 baseline, L2 current)")
@@ -197,13 +301,37 @@ def build_parser() -> argparse.ArgumentParser:
         default="native",
         help="capture format: native JSONL or a Ryu event dump",
     )
+    _add_obs_flags(diff)
     diff.set_defaults(fn=_cmd_diff)
     return parser
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Set the root logging level once for every ``repro.*`` module.
+
+    Replaces ad-hoc per-module setup: modules only ever call
+    ``logging.getLogger(__name__)`` and this single switch decides what
+    surfaces. Safe to call repeatedly (tests invoke ``main`` many times).
+    """
+    if verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    root = logging.getLogger()
+    if root.handlers:
+        root.setLevel(level)
+    else:
+        logging.basicConfig(
+            level=level, format="%(levelname)s %(name)s: %(message)s"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     return args.fn(args)
 
 

@@ -33,6 +33,8 @@ from repro.core.signatures.application import (
 from repro.core.signatures.infrastructure import build_infrastructure_signature
 from repro.core.stability import StabilityThresholds, assess_stability
 from repro.core.tasks.library import TaskLibrary
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
+from repro.obs.tracing import NOOP_TRACER, Tracer
 from repro.openflow.log import ControllerLog
 
 
@@ -64,10 +66,31 @@ class FlowDiffConfig:
 
 
 class FlowDiff:
-    """The diagnosis framework: modeling plus diffing (Figure 1)."""
+    """The diagnosis framework: modeling plus diffing (Figure 1).
 
-    def __init__(self, config: Optional[FlowDiffConfig] = None) -> None:
+    Args:
+        config: modeling/diffing tunables.
+        tracer: when given, every pipeline phase (extract, app-signature,
+            infra-signature, stability, compare, validate, rank, ...) is
+            recorded as a nested span — this is what ``--profile`` prints.
+        metrics: when given, per-call counters and latency histograms are
+            recorded. Both default to shared no-op objects so the
+            uninstrumented pipeline pays only one method call per *phase*.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FlowDiffConfig] = None,
+        tracer: Tracer = NOOP_TRACER,
+        metrics: MetricsRegistry = NOOP_REGISTRY,
+    ) -> None:
         self.config = config or FlowDiffConfig()
+        self.tracer = tracer
+        self.metrics = metrics
+        self._m_models = metrics.counter("flowdiff_models_total")
+        self._m_diffs = metrics.counter("flowdiff_diffs_total")
+        self._m_changes = metrics.counter("flowdiff_changes_total", status="unknown")
+        self._m_explained = metrics.counter("flowdiff_changes_total", status="explained")
 
     # ------------------------------------------------------------------
     # Modeling phase
@@ -89,31 +112,37 @@ class FlowDiff:
         """
         if window is None:
             window = log.time_span
-        records = extract_flow_records(
-            log, self.config.signature.occurrence_gap
-        )
-        app_sigs = build_application_signatures(
-            log, self.config.signature, window=window, records=records
-        )
-        from repro.openflow.messages import PortStatus
+        with self.tracer.span("model", messages=len(log)):
+            with self.tracer.span("extract"):
+                records = extract_flow_records(
+                    log, self.config.signature.occurrence_gap
+                )
+            with self.tracer.span("app-signature"):
+                app_sigs = build_application_signatures(
+                    log, self.config.signature, window=window, records=records
+                )
+            with self.tracer.span("infra-signature"):
+                from repro.openflow.messages import PortStatus
 
-        port_down = [
-            (msg.timestamp, msg.dpid, msg.port)
-            for msg in log.of_type(PortStatus)
-            if not msg.live
-        ]
-        infra = build_infrastructure_signature(
-            [r.arrival for r in records], port_down_events=port_down
-        )
-        stability = {}
-        if assess and self.config.stability_parts >= 2:
-            stability = assess_stability(
-                log,
-                self.config.signature,
-                parts=self.config.stability_parts,
-                thresholds=self.config.stability,
-                window=window,
-            )
+                port_down = [
+                    (msg.timestamp, msg.dpid, msg.port)
+                    for msg in log.of_type(PortStatus)
+                    if not msg.live
+                ]
+                infra = build_infrastructure_signature(
+                    [r.arrival for r in records], port_down_events=port_down
+                )
+            stability = {}
+            if assess and self.config.stability_parts >= 2:
+                with self.tracer.span("stability"):
+                    stability = assess_stability(
+                        log,
+                        self.config.signature,
+                        parts=self.config.stability_parts,
+                        thresholds=self.config.stability,
+                        window=window,
+                    )
+        self._m_models.inc()
         return BehaviorModel(
             app_signatures=app_sigs,
             infrastructure=infra,
@@ -143,16 +172,24 @@ class FlowDiff:
             current_log: the log behind ``current``, needed for task
                 detection.
         """
-        changes = compare_models(baseline, current, self.config.thresholds)
-        task_events = ()
-        if task_library is not None and current_log is not None:
-            task_events = tuple(task_library.detect_in_log(current_log))
-        unknown, known = validate_changes(
-            changes, task_events, self.config.explanations
-        )
-        problems = tuple(classify_problems(unknown))
-        dependency = DependencyMatrix.from_changes(unknown)
-        ranking = tuple(rank_components(unknown))
+        with self.tracer.span("diff"):
+            with self.tracer.span("compare"):
+                changes = compare_models(baseline, current, self.config.thresholds)
+            task_events = ()
+            if task_library is not None and current_log is not None:
+                with self.tracer.span("task-detect"):
+                    task_events = tuple(task_library.detect_in_log(current_log))
+            with self.tracer.span("validate"):
+                unknown, known = validate_changes(
+                    changes, task_events, self.config.explanations
+                )
+            with self.tracer.span("rank"):
+                problems = tuple(classify_problems(unknown))
+                dependency = DependencyMatrix.from_changes(unknown)
+                ranking = tuple(rank_components(unknown))
+        self._m_diffs.inc()
+        self._m_changes.inc(len(unknown))
+        self._m_explained.inc(len(known))
         return DiagnosisReport(
             unknown_changes=tuple(unknown),
             known_changes=tuple(known),

@@ -17,6 +17,7 @@ behavior with a previously computed, stable, and correct behavior"
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -24,6 +25,8 @@ from repro.core.diff.report import DiagnosisReport
 from repro.core.flowdiff import FlowDiff, FlowDiffConfig
 from repro.core.model import BehaviorModel
 from repro.core.tasks.library import TaskLibrary
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
+from repro.obs.tracing import NOOP_TRACER, Tracer
 from repro.openflow.log import ControllerLog
 
 
@@ -49,6 +52,11 @@ class SlidingDiagnoser:
         window: seconds of log modeled per step.
         task_library: learned operator-task signatures used to silence
             planned changes in every window.
+        metrics: observability registry; each diagnosed window records its
+            wall-clock latency (``monitor_window_seconds``) and the
+            current health gauges, making a long-running diagnoser
+            scrape-able mid-flight.
+        tracer: span tracer handed to the underlying :class:`FlowDiff`.
     """
 
     def __init__(
@@ -57,10 +65,18 @@ class SlidingDiagnoser:
         window: float = 30.0,
         task_library: Optional[TaskLibrary] = None,
         rebaseline_after: int = 0,
+        metrics: MetricsRegistry = NOOP_REGISTRY,
+        tracer: Tracer = NOOP_TRACER,
     ) -> None:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
-        self.flowdiff = FlowDiff(config)
+        self.flowdiff = FlowDiff(config, tracer=tracer, metrics=metrics)
+        self.metrics = metrics
+        self._m_latency = metrics.histogram("monitor_window_seconds")
+        self._m_windows = metrics.counter("monitor_windows_total")
+        self._m_unhealthy = metrics.counter("monitor_unhealthy_windows_total")
+        self._m_healthy_gauge = metrics.gauge("monitor_last_window_healthy")
+        self._m_streak = metrics.gauge("monitor_healthy_streak")
         self.window = window
         self.task_library = task_library
         #: After this many consecutive healthy windows the newest healthy
@@ -102,6 +118,7 @@ class SlidingDiagnoser:
         while self._cursor + self.window <= log_end:
             t0 = self._cursor
             t1 = t0 + self.window
+            started = time.perf_counter()
             sub = log.window(t0, t1)
             current = self.flowdiff.model(sub, window=(t0, t1), assess=False)
             report = self.flowdiff.diff(
@@ -114,6 +131,12 @@ class SlidingDiagnoser:
             self.history.append(entry)
             new_reports.append(entry)
             self._cursor = t1
+            self._m_latency.observe(time.perf_counter() - started)
+            self._m_windows.inc()
+            if not entry.healthy:
+                self._m_unhealthy.inc()
+            self._m_healthy_gauge.set(1.0 if entry.healthy else 0.0)
+            self._m_streak.set(self.healthy_streak())
             if (
                 self.rebaseline_after > 0
                 and entry.healthy

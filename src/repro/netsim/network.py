@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.netsim.engine import Simulator
 from repro.netsim.topology import Topology
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
 from repro.netsim.transport import TransportModel
 from repro.openflow.controller import Controller, ControllerConfig
 from repro.openflow.log import ControllerLog
@@ -126,14 +127,16 @@ class Network:
         topology: Topology,
         sim: Optional[Simulator] = None,
         config: Optional[NetworkConfig] = None,
+        metrics: MetricsRegistry = NOOP_REGISTRY,
     ) -> None:
         self.topology = topology
-        self.sim = sim or Simulator()
+        self.metrics = metrics
+        self.sim = sim or Simulator(metrics=metrics)
         self.config = config or NetworkConfig()
         self.rng = random.Random(self.config.seed)
         self.transport = TransportModel()
         self.switches: Dict[str, OpenFlowSwitch] = {
-            name: OpenFlowSwitch(name) for name in topology.switches()
+            name: OpenFlowSwitch(name, metrics=metrics) for name in topology.switches()
         }
         n_controllers = max(1, self.config.n_controllers)
         self.controllers = [
@@ -141,9 +144,13 @@ class Network:
                 route_fn=self._route,
                 config=self.config.controller,
                 rng=random.Random(self.config.seed + 1 + i),
+                metrics=metrics,
             )
             for i in range(n_controllers)
         ]
+        self._m_flow_removed = metrics.counter(
+            "controller_messages_total", kind="flow_removed"
+        )
         self._controller_of: Dict[str, Controller] = {
             dpid: self.controllers[i % n_controllers]
             for i, dpid in enumerate(sorted(self.switches))
@@ -515,6 +522,7 @@ class Network:
                         reason=reason,
                     )
                 )
+                self._m_flow_removed.inc()
             pending += len(switch.table)
         if pending > 0 or self.sim.pending() > 0:
             self.sim.schedule_in(self.config.expiry_sweep, self._sweep)

@@ -1,0 +1,83 @@
+"""``repro.obs`` — observability for the reproduction itself.
+
+FlowDiff diagnoses a data center by passively watching its control plane;
+this package applies the same discipline to our own stack. It is
+dependency-free and designed so that the *default* (uninstrumented) path
+costs nothing measurable:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms in
+  a :class:`MetricsRegistry`; :data:`NOOP_REGISTRY` is the universal
+  do-nothing default.
+* :mod:`repro.obs.tracing` — nestable wall-clock/sim-clock spans;
+  :data:`NOOP_TRACER` likewise.
+* :mod:`repro.obs.export` — JSONL event streams and Prometheus text
+  exposition of a registry (plus round-trip readers).
+* :mod:`repro.obs.stats` — one-pass controller-log summaries (message
+  mix, rates, top talkers) behind ``repro stats``.
+* :mod:`repro.obs.profile` — span trees rendered as the ``--profile``
+  phase table and as benchmark-baseline timing dicts.
+
+Typical instrumented run::
+
+    from repro.obs import MetricsRegistry, Tracer
+
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    fd = FlowDiff(config, metrics=metrics, tracer=tracer)
+    report = fd.diff(fd.model(l1), fd.model(l2))
+    print(render_phase_table(tracer))
+    write_jsonl("telemetry.jsonl", metrics, tracer)
+"""
+
+from repro.obs.export import (
+    iter_metric_events,
+    iter_span_events,
+    metrics_from_events,
+    read_jsonl,
+    render_prometheus,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NOOP_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopRegistry,
+)
+from repro.obs.profile import phase_rows, phase_timings, render_phase_table
+from repro.obs.stats import (
+    LogSummary,
+    record_log_metrics,
+    render_summary,
+    summarize_log,
+)
+from repro.obs.tracing import NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NOOP_REGISTRY",
+    "NOOP_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LogSummary",
+    "MetricsRegistry",
+    "NoopRegistry",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "iter_metric_events",
+    "iter_span_events",
+    "metrics_from_events",
+    "phase_rows",
+    "phase_timings",
+    "read_jsonl",
+    "render_phase_table",
+    "render_prometheus",
+    "render_summary",
+    "record_log_metrics",
+    "summarize_log",
+    "write_jsonl",
+]

@@ -25,6 +25,7 @@ from typing import Callable, Deque, Optional
 
 import random
 
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
 from repro.openflow.log import ControllerLog
 from repro.openflow.match import FlowKey, Match
 from repro.openflow.messages import FlowMod, PacketIn, PacketOut
@@ -92,6 +93,7 @@ class Controller:
         route_fn: RouteFn,
         config: Optional[ControllerConfig] = None,
         rng: Optional[random.Random] = None,
+        metrics: MetricsRegistry = NOOP_REGISTRY,
     ) -> None:
         self.route_fn = route_fn
         self.config = config or ControllerConfig()
@@ -103,6 +105,16 @@ class Controller:
         self.overload_factor = 1.0
         self._recent_arrivals: Deque[float] = deque()
         self._busy_until = 0.0
+        # Message-mix counters plus the two live-health signals the paper's
+        # CRT signature models: service latency and load inflation.
+        self.metrics = metrics
+        self._m_packet_in = metrics.counter("controller_messages_total", kind="packet_in")
+        self._m_flow_mod = metrics.counter("controller_messages_total", kind="flow_mod")
+        self._m_packet_out = metrics.counter("controller_messages_total", kind="packet_out")
+        self._m_dropped = metrics.counter("controller_unroutable_total")
+        self._m_dead = metrics.counter("controller_dead_misses_total")
+        self._m_response = metrics.histogram("controller_response_seconds")
+        self._m_load = metrics.gauge("controller_load_factor")
 
     # ------------------------------------------------------------------
     # Response-time model
@@ -115,7 +127,9 @@ class Controller:
             self._recent_arrivals.popleft()
         rate = len(self._recent_arrivals) / self.config.load_window
         utilization = min(0.95, rate / self.config.capacity)
-        return 1.0 / (1.0 - utilization)
+        factor = 1.0 / (1.0 - utilization)
+        self._m_load.set(factor)
+        return factor
 
     def response_time(self, now: float) -> float:
         """Sample the time to service one PacketIn arriving at ``now``."""
@@ -145,18 +159,22 @@ class Controller:
             buffer_id=self.log_seq(),
         )
         if not self.live:
+            self._m_dead.inc()
             return ControllerReply(flow_mod=None, packet_out=None, ready_at=float("inf"))
         self.log.append(packet_in)
+        self._m_packet_in.inc()
         self._recent_arrivals.append(arrived_at)
 
         start = max(arrived_at, self._busy_until)
         done = start + self.response_time(arrived_at)
         self._busy_until = done
+        self._m_response.observe(done - arrived_at)
 
         out_port = self.route_fn(miss.dpid, miss.flow)
         if out_port is None:
             # Unknown destination: drop (no rule installed). Still counts
             # as controller work, hence the busy-time update above.
+            self._m_dropped.inc()
             return ControllerReply(flow_mod=None, packet_out=None, ready_at=done)
 
         match = (
@@ -182,6 +200,8 @@ class Controller:
         )
         self.log.append(flow_mod)
         self.log.append(packet_out)
+        self._m_flow_mod.inc()
+        self._m_packet_out.inc()
         return ControllerReply(flow_mod=flow_mod, packet_out=packet_out, ready_at=done)
 
     def log_seq(self) -> int:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
 from repro.openflow.match import FlowKey, Match
 from repro.openflow.messages import FlowRemovedReason
 
@@ -88,10 +89,24 @@ class FlowTable:
     network simulator additionally calls :meth:`collect_expired` on timer
     events so that ``FlowRemoved`` messages fire close to their true expiry
     times rather than on the next lookup.
+
+    With a real registry the table reports lookups, misses, installs,
+    expiries (all labeled by owning ``dpid``), and its current occupancy —
+    the miss rate and table-pressure view the scalability experiments
+    need. The default :data:`NOOP_REGISTRY` keeps lookups on the
+    uninstrumented fast path.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, metrics: MetricsRegistry = NOOP_REGISTRY, dpid: str = ""
+    ) -> None:
         self._entries: List[FlowEntry] = []
+        labels = {"dpid": dpid} if dpid else {}
+        self._m_lookups = metrics.counter("flowtable_lookups_total", **labels)
+        self._m_misses = metrics.counter("flowtable_misses_total", **labels)
+        self._m_installs = metrics.counter("flowtable_installs_total", **labels)
+        self._m_expired = metrics.counter("flowtable_expired_total", **labels)
+        self._m_occupancy = metrics.gauge("flowtable_entries", **labels)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -107,11 +122,14 @@ class FlowTable:
             if not (e.match == entry.match and e.priority == entry.priority)
         ]
         self._entries.append(entry)
+        self._m_installs.inc()
+        self._m_occupancy.set(len(self._entries))
 
     def delete(self, match: Match) -> List[FlowEntry]:
         """Remove and return all entries whose match equals ``match``."""
         removed = [e for e in self._entries if e.match == match]
         self._entries = [e for e in self._entries if e.match != match]
+        self._m_occupancy.set(len(self._entries))
         return removed
 
     def lookup(self, key: FlowKey, now: float) -> Optional[FlowEntry]:
@@ -122,6 +140,7 @@ class FlowTable:
         Expired entries are skipped (but not removed; see
         :meth:`collect_expired`).
         """
+        self._m_lookups.inc()
         best: Optional[Tuple[int, int, float, FlowEntry]] = None
         for entry in self._entries:
             if entry.expired_reason(now) is not None:
@@ -131,7 +150,10 @@ class FlowTable:
             rank = (entry.priority, entry.match.specificity, entry.created_at, entry)
             if best is None or rank[:3] > best[:3]:
                 best = rank
-        return best[3] if best else None
+        if best is None:
+            self._m_misses.inc()
+            return None
+        return best[3]
 
     def collect_expired(
         self, now: float
@@ -146,6 +168,9 @@ class FlowTable:
             else:
                 expired.append((entry, reason))
         self._entries = live
+        if expired:
+            self._m_expired.inc(len(expired))
+            self._m_occupancy.set(len(live))
         return expired
 
     def next_expiry(self) -> float:

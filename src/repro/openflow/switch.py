@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
 from repro.openflow.flowtable import FlowEntry, FlowTable
 from repro.openflow.match import FlowKey, Match
 from repro.openflow.messages import FlowRemovedReason
@@ -42,9 +43,10 @@ class OpenFlowSwitch:
             to FlowDiff as missing control traffic and topology changes).
     """
 
-    def __init__(self, dpid: str) -> None:
+    def __init__(self, dpid: str, metrics: MetricsRegistry = NOOP_REGISTRY) -> None:
         self.dpid = dpid
-        self.table = FlowTable()
+        self.metrics = metrics
+        self.table = FlowTable(metrics=metrics, dpid=dpid)
         self.live = True
         #: Per-port cumulative byte counters, used by stats polling.
         self.port_bytes: Dict[int, int] = {}
@@ -109,7 +111,7 @@ class OpenFlowSwitch:
     def fail(self) -> None:
         """Take the switch down; its table contents are lost."""
         self.live = False
-        self.table = FlowTable()
+        self.table = FlowTable(metrics=self.metrics, dpid=self.dpid)
 
     def recover(self) -> None:
         """Bring the switch back with an empty table."""

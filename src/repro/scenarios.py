@@ -25,6 +25,7 @@ from repro.apps.services import ServiceDirectory
 from repro.faults.base import Fault
 from repro.netsim.network import Network, NetworkConfig
 from repro.netsim.topology import lab_testbed, paper_tree
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
 from repro.openflow.log import ControllerLog
 from repro.workload.arrivals import PoissonProcess
 from repro.workload.traffic import RandomThreeTierWorkload
@@ -188,6 +189,7 @@ def three_tier_lab(
     with_services: bool = False,
     network_config: Optional[NetworkConfig] = None,
     response_sizes: Tuple[int, int, int] = (16000, 8000, 6000),
+    metrics: MetricsRegistry = NOOP_REGISTRY,
 ) -> LabScenario:
     """Build the lab testbed with the given application plans.
 
@@ -201,6 +203,8 @@ def three_tier_lab(
         with_services: also deploy the shared DNS/NFS/NTP/DHCP services.
         network_config: optional substrate tuning.
         response_sizes: per-tier response sizes (web, app, db).
+        metrics: observability registry threaded into the simulator,
+            switches, and controller (defaults to the no-op registry).
     """
     if not plans:
         plans = (
@@ -215,7 +219,7 @@ def three_tier_lab(
     if with_services:
         services = ServiceDirectory.standard()
         services.register_into(topo, attach_to="ofs1")
-    network = Network(topo, config=network_config)
+    network = Network(topo, config=network_config, metrics=metrics)
     farm = ServerFarm()
     scenario = LabScenario(network=network, farm=farm, services=services)
 
@@ -278,6 +282,7 @@ def scalability_sim(
     reuse_prob: float = 0.6,
     racks: int = 16,
     servers_per_rack: int = 20,
+    metrics: MetricsRegistry = NOOP_REGISTRY,
 ) -> Tuple[Network, RandomThreeTierWorkload]:
     """The Section V-C setup: the 320-server tree plus N random apps.
 
@@ -285,7 +290,7 @@ def scalability_sim(
     and core switches as they would in a production multi-rooted fabric.
     """
     topo = paper_tree(racks=racks, servers_per_rack=servers_per_rack)
-    network = Network(topo, config=NetworkConfig(seed=seed, ecmp=True))
+    network = Network(topo, config=NetworkConfig(seed=seed, ecmp=True), metrics=metrics)
     workload = RandomThreeTierWorkload(
         network, n_apps=n_apps, seed=seed, reuse_prob=reuse_prob
     )
