@@ -29,6 +29,49 @@ BENCH_SEED = 3
 BENCH_DURATION = 30.0
 
 
+def run_obs_overhead_bench(
+    log: Any = None,
+    seed: int = BENCH_SEED,
+    duration: float = BENCH_DURATION,
+    repeats: int = 5,
+) -> Dict[str, Any]:
+    """Time model+diff with observability off (no-ops) vs on (real
+    registry + tracer); return both timings and the relative overhead.
+
+    Best-of-``repeats`` on each side, pytest-benchmark style, so scheduler
+    noise does not masquerade as instrumentation cost. The contract this
+    guards: the instrumented path must stay within a few percent of the
+    no-op path (asserted <5% by the microbench suite), because the
+    sliding diagnoser runs instrumented in production.
+    """
+    from repro import FlowDiff
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.scenarios import three_tier_lab
+
+    if log is None:
+        log = three_tier_lab(seed=seed).run(0.5, duration)
+
+    def one_pass(fd: "FlowDiff") -> float:
+        started = time.perf_counter()
+        baseline = fd.model(log)
+        current = fd.model(log, assess=False)
+        fd.diff(baseline, current)
+        return time.perf_counter() - started
+
+    noop_s = min(one_pass(FlowDiff()) for _ in range(max(1, repeats)))
+    instrumented_s = min(
+        one_pass(FlowDiff(metrics=MetricsRegistry(), tracer=Tracer()))
+        for _ in range(max(1, repeats))
+    )
+    overhead_pct = (instrumented_s / noop_s - 1.0) * 100.0 if noop_s else 0.0
+    return {
+        "noop_s": round(noop_s, 6),
+        "instrumented_s": round(instrumented_s, 6),
+        "overhead_pct": round(overhead_pct, 3),
+        "repeats": repeats,
+    }
+
+
 def run_pipeline_bench(
     seed: int = BENCH_SEED, duration: float = BENCH_DURATION, repeats: int = 3
 ) -> Dict[str, Any]:
@@ -37,7 +80,9 @@ def run_pipeline_bench(
     The simulation itself is *not* part of the timed region (it stands in
     for capture ingestion); each repeat re-runs the full modeling and
     diffing pipeline and the fastest repeat is reported, pytest-benchmark
-    style, to suppress scheduler noise.
+    style, to suppress scheduler noise. The payload also records the
+    observability on/off timing pair (see :func:`run_obs_overhead_bench`)
+    so the enabled-path overhead is diffable commit to commit.
     """
     from repro import FlowDiff
     from repro.obs import Tracer, phase_timings
@@ -65,6 +110,7 @@ def run_pipeline_bench(
         "messages": len(log),
         "phases": {name: round(seconds, 6) for name, seconds in sorted(best.items())},
         "total_s": round(best.get("model", 0.0) + best.get("diff", 0.0), 6),
+        "obs_overhead": run_obs_overhead_bench(log=log),
         "python": platform.python_version(),
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }

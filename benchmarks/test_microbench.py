@@ -85,3 +85,23 @@ def test_bench_log_serialization(benchmark, lab_log, tmp_path):
     path = str(tmp_path / "bench.jsonl")
     count = benchmark(save_log, lab_log, path)
     assert count == len(lab_log)
+
+
+def test_obs_overhead_under_five_percent(lab_log):
+    """The instrumented pipeline must cost <5% over the no-op path.
+
+    This is the contract that lets the sliding diagnoser run with real
+    metrics + tracing in production; guarded here (and recorded in
+    BENCH_pipeline.json) so an accidentally hot instrument shows up as a
+    test failure rather than a silent slowdown.
+    """
+    import importlib.util
+    import os
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_emit", os.path.join(os.path.dirname(__file__), "emit.py")
+    )
+    emitter = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(emitter)
+    result = emitter.run_obs_overhead_bench(log=lab_log, repeats=7)
+    assert result["overhead_pct"] < 5.0, result

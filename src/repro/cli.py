@@ -10,7 +10,13 @@ Usage (also via ``python -m repro``):
 * ``repro stats baseline.jsonl`` — fast telemetry-only summary (message
   mix, rates, top talkers) without modeling anything.
 * ``repro diff baseline.jsonl current.jsonl`` — the paper's workflow:
-  model both captures and print the diagnosis report.
+  model both captures and print the diagnosis report (``--evidence``
+  attaches flight-recorder causal chains to the top suspects).
+* ``repro trace capture.jsonl`` — reconstruct per-flow causal timelines
+  (PacketIn -> FlowMod -> ... -> FlowRemoved) from the flight recorder.
+* ``repro monitor capture.jsonl --alerts-out alerts.jsonl`` — replay a
+  capture through the sliding diagnoser + alert engine and export the
+  fired alerts.
 
 ``simulate``, ``model``, and ``diff`` accept ``--profile`` (print a
 per-phase timing table) and ``--metrics-out FILE.jsonl`` (export the full
@@ -24,6 +30,7 @@ every command maps 1:1 onto the library API.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from typing import List, Optional, Tuple
@@ -179,6 +186,14 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     report = fd.diff(
         baseline, current, task_library=task_library, current_log=current_log
     )
+    if args.evidence:
+        from repro.core.diff.evidence import attach_evidence
+
+        report = attach_evidence(
+            report,
+            current_log,
+            metrics=metrics if metrics is not NOOP_REGISTRY else None,
+        )
     if args.html:
         from repro.core.diff.html import save_html_report
 
@@ -190,6 +205,77 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         print(report.render())
     _finish_obs(args, metrics, tracer, "diff")
     return 0 if report.healthy else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.flightrec import FlightRecorder
+
+    log = _read(args.log, args.format)
+    recorder = FlightRecorder.from_log(log, occurrence_gap=args.gap)
+    timelines = recorder.timelines
+    if args.corr is not None:
+        match = recorder.timeline(args.corr)
+        timelines = [match] if match is not None else []
+    if args.flow:
+        timelines = [
+            t for t in timelines if t.flow is not None and args.flow in str(t.flow)
+        ]
+    if args.incomplete:
+        timelines = [t for t in timelines if not t.complete]
+    if args.json:
+        print(json.dumps([t.to_dict() for t in timelines], indent=2))
+    else:
+        for timeline in timelines:
+            print(timeline.render())
+            print()
+        s = recorder.summary()
+        print(
+            f"{len(timelines)} of {s['flows']} flow(s) shown; "
+            f"{s['complete']} complete, {s['incomplete']} incomplete, "
+            f"{s['synthetic']} heuristic, {s['reordered']} reordered"
+        )
+    filtered = args.corr is not None or args.flow or args.incomplete
+    return 1 if filtered and not timelines else 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.core.monitor import SlidingDiagnoser
+    from repro.obs.alerts import AlertEngine, default_rules
+
+    metrics, tracer = _obs_context(args)
+    log = _read(args.log, args.format)
+    engine = AlertEngine(
+        default_rules(
+            consecutive_critical=args.escalate_after, cooldown=args.cooldown
+        ),
+        metrics=metrics,
+    )
+    diagnoser = SlidingDiagnoser(
+        _config(args),
+        window=args.window,
+        metrics=metrics,
+        tracer=tracer,
+        alert_engine=engine,
+    )
+    t0, _ = log.time_span
+    baseline = args.baseline if args.baseline is not None else args.window
+    diagnoser.set_baseline(log, t0, t0 + baseline)
+    diagnoser.advance(log)
+    if args.alerts_out:
+        count = engine.write_jsonl(args.alerts_out)
+        print(f"wrote {count} alert(s) to {args.alerts_out}")
+    if args.json:
+        print(json.dumps([a.to_dict() for a in engine.alerts], indent=2))
+    else:
+        for alert in engine.alerts:
+            print(f"[{alert.severity}] t={alert.timestamp:g}s {alert.rule}: {alert.message}")
+        healthy = sum(1 for entry in diagnoser.history if entry.healthy)
+        print(
+            f"{len(diagnoser.history)} window(s) diagnosed ({healthy} healthy), "
+            f"{len(engine.alerts)} alert(s) fired, {engine.suppressed} suppressed"
+        )
+    _finish_obs(args, metrics, tracer, "monitor")
+    return 1 if engine.alerts else 0
 
 
 def _config(args: argparse.Namespace) -> FlowDiffConfig:
@@ -289,6 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat BASELINE as a stored model file rather than a capture",
     )
     diff.add_argument("--special-nodes", default="", help="comma-separated service hosts")
+    diff.add_argument(
+        "--evidence",
+        action="store_true",
+        help="attach flight-recorder causal chains to the top suspects",
+    )
     diff.add_argument("--json", action="store_true", help="emit the report as JSON")
     diff.add_argument("--html", help="also write a standalone HTML report to this path")
     diff.add_argument(
@@ -303,6 +394,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(diff)
     diff.set_defaults(fn=_cmd_diff)
+
+    trace = sub.add_parser(
+        "trace", help="reconstruct per-flow causal timelines from a capture"
+    )
+    trace.add_argument("log")
+    trace.add_argument(
+        "--flow",
+        help="only flows whose 5-tuple rendering contains this substring "
+        "(a host name, ':80', '->S8', ...)",
+    )
+    trace.add_argument(
+        "--corr", type=int, help="only the flow with this correlation id"
+    )
+    trace.add_argument(
+        "--incomplete",
+        action="store_true",
+        help="only chains with missing stages (the broken flows)",
+    )
+    trace.add_argument(
+        "--gap",
+        type=float,
+        default=10.0,
+        help="occurrence gap (s) for heuristic grouping of id-less captures",
+    )
+    trace.add_argument("--json", action="store_true", help="emit timelines as JSON")
+    trace.add_argument(
+        "--format",
+        choices=("native", "ryu"),
+        default="native",
+        help="capture format: native JSONL or a Ryu event dump",
+    )
+    trace.set_defaults(fn=_cmd_trace)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="replay a capture through the sliding diagnoser + alert engine",
+    )
+    mon.add_argument("log")
+    mon.add_argument(
+        "--window", type=float, default=30.0, help="seconds diagnosed per step"
+    )
+    mon.add_argument(
+        "--baseline",
+        type=float,
+        help="seconds of leading log modeled as the healthy baseline "
+        "(default: one window)",
+    )
+    mon.add_argument(
+        "--alerts-out",
+        metavar="FILE.jsonl",
+        help="write fired alerts as JSON lines to this path",
+    )
+    mon.add_argument(
+        "--cooldown",
+        type=float,
+        default=0.0,
+        help="stream-time seconds a (rule, labels) pair stays silent after firing",
+    )
+    mon.add_argument(
+        "--escalate-after",
+        type=int,
+        default=3,
+        help="consecutive unhealthy windows before the CRITICAL escalation",
+    )
+    mon.add_argument("--special-nodes", default="", help="comma-separated service hosts")
+    mon.add_argument("--json", action="store_true", help="emit alerts as JSON")
+    mon.add_argument(
+        "--format",
+        choices=("native", "ryu"),
+        default="native",
+        help="capture format: native JSONL or a Ryu event dump",
+    )
+    _add_obs_flags(mon)
+    mon.set_defaults(fn=_cmd_monitor)
     return parser
 
 

@@ -102,6 +102,30 @@ def report_to_html(report: DiagnosisReport, title: str = "FlowDiff diagnosis") -
             )
         out.append("</table>")
 
+    if report.evidence:
+        out.append("<h2>Evidence chains (flight recorder)</h2>")
+        for chain in report.evidence:
+            out.append(
+                f"<h3><code>{_esc(chain.component)}</code> "
+                f"(score {chain.score:g})</h3>"
+            )
+            for timeline in chain.timelines:
+                out.append(f"<p>{_esc(timeline.describe())}</p>")
+                out.append("<table>")
+                out.append(
+                    "<tr><th>t (s)</th><th>stage</th><th>switch</th>"
+                    "<th>+latency (ms)</th><th>detail</th></tr>"
+                )
+                for event in timeline.events:
+                    out.append(
+                        f"<tr><td>{event.timestamp:.6f}</td>"
+                        f"<td>{_esc(event.stage)}</td>"
+                        f"<td><code>{_esc(event.dpid)}</code></td>"
+                        f"<td>{event.latency * 1e3:.3f}</td>"
+                        f"<td>{_esc(event.detail)}</td></tr>"
+                    )
+                out.append("</table>")
+
     out.append("<h2>Dependency matrix</h2><table>")
     out.append(
         "<tr><th></th>"

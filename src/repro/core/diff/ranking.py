@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.signatures.base import ChangeRecord
+from repro.obs.flightrec import FlowTimeline
 
 
 def rank_components(
@@ -48,3 +49,25 @@ def top_suspects(
     if hosts_only:
         ranked = [(c, s) for c, s in ranked if "--" not in c]
     return [c for c, _ in ranked[:k]]
+
+
+def select_evidence_flows(
+    timelines: Sequence[FlowTimeline], limit: int = 3
+) -> List[FlowTimeline]:
+    """Order a suspect's implicated flows by evidential value, keep ``limit``.
+
+    Most anomalous first: chains with missing stages (a broken flow is the
+    strongest localization evidence), then non-monotone chains (capture
+    reordering), then the slowest setups — the same "worst first" ordering
+    the component ranking itself uses for changes.
+    """
+    ranked = sorted(
+        timelines,
+        key=lambda t: (
+            t.complete,           # incomplete chains first
+            t.monotone,           # then reordered captures
+            -t.total_latency,     # then slowest setup
+            t.corr_id,            # deterministic tie-break
+        ),
+    )
+    return list(ranked[: max(0, limit)])

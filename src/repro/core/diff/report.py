@@ -15,6 +15,41 @@ from typing import Any, Dict, List, Tuple
 from repro.core.diff.dependency import DependencyMatrix, ProblemInference
 from repro.core.signatures.base import ChangeRecord, SignatureKind
 from repro.core.tasks.detector import TaskEvent
+from repro.obs.flightrec import FlowTimeline
+
+
+@dataclass(frozen=True)
+class EvidenceChain:
+    """Flight-recorder evidence backing one ranked suspect component.
+
+    007-style actionability: instead of only naming a suspect, the report
+    attaches the causal timelines of the flows that implicate it, so the
+    operator can read what those flows actually experienced (triggers,
+    controller decisions, hops, expiries — and which stages went missing).
+
+    Attributes:
+        component: the suspect (host, switch, or ``"a--b"`` edge).
+        score: the suspect's ranking score (change-association count).
+        timelines: the selected per-flow causal chains (most anomalous
+            first: incomplete chains, then slowest setups).
+    """
+
+    component: str
+    score: float
+    timelines: Tuple[FlowTimeline, ...] = ()
+
+    def render(self) -> str:
+        lines = [f"{self.component} (score {self.score:g}):"]
+        for timeline in self.timelines:
+            lines.append("  " + timeline.describe())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "component": self.component,
+            "score": self.score,
+            "flows": [t.to_dict() for t in self.timelines],
+        }
 
 
 @dataclass(frozen=True)
@@ -29,6 +64,9 @@ class DiagnosisReport:
         problems: ranked candidate problem types.
         dependency: the application x infrastructure dependency matrix.
         component_ranking: suspect components, most implicated first.
+        evidence: flight-recorder causal chains for the top suspects
+            (attached by :func:`repro.core.diff.evidence.attach_evidence`;
+            empty when no capture was available to reconstruct from).
     """
 
     unknown_changes: Tuple[ChangeRecord, ...]
@@ -37,6 +75,7 @@ class DiagnosisReport:
     problems: Tuple[ProblemInference, ...]
     dependency: DependencyMatrix
     component_ranking: Tuple[Tuple[str, float], ...]
+    evidence: Tuple[EvidenceChain, ...] = ()
 
     @property
     def healthy(self) -> bool:
@@ -98,6 +137,11 @@ class DiagnosisReport:
             lines.append("Suspect components:")
             for component, score in self.component_ranking[:max_items]:
                 lines.append(f"  - {component}: {score:g}")
+        if self.evidence:
+            lines.append("Evidence chains (flight recorder):")
+            for chain in self.evidence:
+                for line in chain.render().splitlines():
+                    lines.append("  " + line)
         lines.append("Dependency matrix:")
         lines.append(self.dependency.render())
         return "\n".join(lines)
@@ -154,6 +198,7 @@ class DiagnosisReport:
             "component_ranking": [
                 {"component": c, "score": s} for c, s in self.component_ranking
             ],
+            "evidence": [chain.to_dict() for chain in self.evidence],
             "dependency": [list(row) for row in self.dependency.cells],
         }
 

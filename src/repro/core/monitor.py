@@ -25,6 +25,7 @@ from repro.core.diff.report import DiagnosisReport
 from repro.core.flowdiff import FlowDiff, FlowDiffConfig
 from repro.core.model import BehaviorModel
 from repro.core.tasks.library import TaskLibrary
+from repro.obs.alerts import Alert, AlertEngine
 from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
 from repro.obs.tracing import NOOP_TRACER, Tracer
 from repro.openflow.log import ControllerLog
@@ -57,6 +58,10 @@ class SlidingDiagnoser:
             current health gauges, making a long-running diagnoser
             scrape-able mid-flight.
         tracer: span tracer handed to the underlying :class:`FlowDiff`.
+        alert_engine: when given, every produced window report streams
+            through the engine's rules (and the registry is sampled at the
+            window end, stream-time-stamped) so alerts fire the moment a
+            window turns unhealthy — no separate polling loop.
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class SlidingDiagnoser:
         rebaseline_after: int = 0,
         metrics: MetricsRegistry = NOOP_REGISTRY,
         tracer: Tracer = NOOP_TRACER,
+        alert_engine: Optional[AlertEngine] = None,
     ) -> None:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
@@ -88,6 +94,7 @@ class SlidingDiagnoser:
         self.history: List[WindowReport] = []
         self._cursor = 0.0
         self.rebaseline_count = 0
+        self.alert_engine = alert_engine
 
     # ------------------------------------------------------------------
 
@@ -137,6 +144,10 @@ class SlidingDiagnoser:
                 self._m_unhealthy.inc()
             self._m_healthy_gauge.set(1.0 if entry.healthy else 0.0)
             self._m_streak.set(self.healthy_streak())
+            if self.alert_engine is not None:
+                self.alert_engine.observe_window(entry)
+                if self.metrics is not NOOP_REGISTRY:
+                    self.alert_engine.observe_registry(self.metrics, at=t1)
             if (
                 self.rebaseline_after > 0
                 and entry.healthy
@@ -163,6 +174,11 @@ class SlidingDiagnoser:
             if not entry.healthy:
                 return entry
         return None
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """Alerts fired so far (empty without an attached engine)."""
+        return self.alert_engine.alerts if self.alert_engine is not None else []
 
     def healthy_streak(self) -> int:
         """Number of consecutive healthy windows at the end of history."""

@@ -165,6 +165,9 @@ class Network:
         self._sweeper_running = False
         self.flows_sent = 0
         self.flows_delivered = 0
+        #: Flight-recorder correlation ids: one per injected flow instance,
+        #: stamped onto every control message in that flow's causal chain.
+        self._next_corr_id = 1
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -274,6 +277,8 @@ class Network:
         self.flows_sent += 1
         started = self.sim.now
         key = request.key
+        corr_id = self._next_corr_id
+        self._next_corr_id += 1
         src_host = self.host_for_ip(key.src)
         dst_host = self.host_for_ip(key.dst)
 
@@ -312,7 +317,9 @@ class Network:
             self.sim.schedule_in(0.0, fail_now)
             return
 
-        self._forward_head(request, list(path), hop_index=1, at=started, on_done=finish)
+        self._forward_head(
+            request, list(path), hop_index=1, at=started, on_done=finish, corr_id=corr_id
+        )
 
     def _forward_head(
         self,
@@ -321,6 +328,7 @@ class Network:
         hop_index: int,
         at: float,
         on_done: Callable[[FlowResult], None],
+        corr_id: Optional[int] = None,
     ) -> None:
         """Advance the flow's first packet from node ``hop_index - 1``.
 
@@ -340,7 +348,7 @@ class Network:
         arrive = at + link.effective_latency(self.sim.now)
 
         def process() -> None:
-            self._process_at_node(request, path, hop_index, on_done)
+            self._process_at_node(request, path, hop_index, on_done, corr_id)
 
         self.sim.schedule_at(arrive, process)
 
@@ -350,6 +358,7 @@ class Network:
         path: List[str],
         hop_index: int,
         on_done: Callable[[FlowResult], None],
+        corr_id: Optional[int] = None,
     ) -> None:
         node = path[hop_index]
         now = self.sim.now
@@ -363,7 +372,9 @@ class Network:
             switch = self.switches[node]
             in_port = self.topology.port_to(node, path[hop_index - 1])
             head_bytes = min(request.size_bytes, self.transport.mss)
-            out_port, miss = switch.process_packet(key, in_port, now, head_bytes)
+            out_port, miss = switch.process_packet(
+                key, in_port, now, head_bytes, corr_id=corr_id
+            )
             if miss is not None:
                 if not switch.live:
                     on_done(self._failed_result(request, now, path))
@@ -384,11 +395,12 @@ class Network:
                         now=self.sim.now,
                         idle_timeout=reply.flow_mod.idle_timeout,
                         hard_timeout=reply.flow_mod.hard_timeout,
+                        corr_id=reply.flow_mod.corr_id,
                     )
                     entry.record_match(self.sim.now, head_bytes)
                     self._ensure_sweeper()
                     self._forward_head(
-                        request, path, hop_index + 1, self.sim.now, on_done
+                        request, path, hop_index + 1, self.sim.now, on_done, corr_id
                     )
 
                 self.sim.schedule_at(applied_at, install_and_continue)
@@ -396,10 +408,10 @@ class Network:
             if out_port is None:
                 on_done(self._failed_result(request, now, path))
                 return
-            self._forward_head(request, path, hop_index + 1, now, on_done)
+            self._forward_head(request, path, hop_index + 1, now, on_done, corr_id)
         else:
             # Legacy switch: transparent store-and-forward, no control plane.
-            self._forward_head(request, path, hop_index + 1, now, on_done)
+            self._forward_head(request, path, hop_index + 1, now, on_done, corr_id)
 
     def _deliver_body(
         self,
@@ -520,6 +532,7 @@ class Network:
                         byte_count=entry.byte_count,
                         packet_count=entry.packet_count,
                         reason=reason,
+                        corr_id=entry.corr_id,
                     )
                 )
                 self._m_flow_removed.inc()
@@ -550,6 +563,7 @@ class Network:
                             byte_count=entry.byte_count,
                             packet_count=entry.packet_count,
                             duration=entry.duration,
+                            corr_id=entry.corr_id,
                         )
                     )
             if now + interval <= until:

@@ -16,6 +16,12 @@ costs nothing measurable:
   mix, rates, top talkers) behind ``repro stats``.
 * :mod:`repro.obs.profile` — span trees rendered as the ``--profile``
   phase table and as benchmark-baseline timing dicts.
+* :mod:`repro.obs.flightrec` — the per-flow causal flight recorder:
+  reconstructs PacketIn -> FlowMod -> ... -> FlowRemoved timelines from a
+  capture via correlation ids (heuristic 5-tuple grouping as fallback).
+* :mod:`repro.obs.alerts` — streaming alert rules (threshold, EWMA drift,
+  consecutive unhealthy windows, problem class) and the deduping
+  :class:`AlertEngine` behind ``repro monitor``.
 
 Typical instrumented run::
 
@@ -29,6 +35,19 @@ Typical instrumented run::
     write_jsonl("telemetry.jsonl", metrics, tracer)
 """
 
+from repro.obs.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    EwmaDriftRule,
+    ProblemClassRule,
+    Severity,
+    ThresholdRule,
+    UnhealthyWindowsRule,
+    default_rules,
+    read_alerts_jsonl,
+    write_alerts_jsonl,
+)
 from repro.obs.export import (
     iter_metric_events,
     iter_span_events,
@@ -36,6 +55,12 @@ from repro.obs.export import (
     read_jsonl,
     render_prometheus,
     write_jsonl,
+)
+from repro.obs.flightrec import (
+    FlightRecorder,
+    FlowTimeline,
+    TimelineEvent,
+    reconstruct,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -59,25 +84,40 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "NOOP_REGISTRY",
     "NOOP_TRACER",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
     "Counter",
+    "EwmaDriftRule",
+    "FlightRecorder",
+    "FlowTimeline",
     "Gauge",
     "Histogram",
     "LogSummary",
     "MetricsRegistry",
     "NoopRegistry",
     "NoopTracer",
+    "ProblemClassRule",
+    "Severity",
     "Span",
+    "ThresholdRule",
+    "TimelineEvent",
     "Tracer",
+    "UnhealthyWindowsRule",
+    "default_rules",
     "iter_metric_events",
     "iter_span_events",
     "metrics_from_events",
     "phase_rows",
     "phase_timings",
+    "read_alerts_jsonl",
     "read_jsonl",
+    "reconstruct",
     "render_phase_table",
     "render_prometheus",
     "render_summary",
     "record_log_metrics",
     "summarize_log",
+    "write_alerts_jsonl",
     "write_jsonl",
 ]

@@ -155,17 +155,30 @@ def metrics_from_events(events: List[Dict[str, Any]]) -> MetricsRegistry:
 
 
 def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN never equals itself
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
     if value == float("-inf"):
         return "-Inf"
-    if float(value).is_integer():
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
+
+
+def _escape_label_value(value: object) -> str:
+    # Exposition-format escaping: backslash first, then quote and newline.
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _format_labels(labels, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

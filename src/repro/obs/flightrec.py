@@ -1,0 +1,498 @@
+"""The per-flow causal flight recorder: reconstruct event chains from a log.
+
+FlowDiff's aggregate signature diffs tell an operator *that* behavior
+changed; the flight recorder tells them *what one flow experienced*. Every
+flow instance injected into the simulated network carries a correlation id
+(:attr:`~repro.openflow.messages.ControlMessage.corr_id`) stamped onto the
+PacketIn raised at each switch hop, the FlowMod/PacketOut replies, and the
+eventual FlowRemoved. Reconstruction turns one capture into per-flow
+timelines::
+
+    trigger packet -> controller decision -> per-switch rule installs
+                   -> forwarding hops -> expiry
+
+with per-stage latencies, in the spirit of 007's per-flow evidence chains
+(Arzani et al.) layered over the paper's controller-side capture.
+
+Captures from controllers that do not stamp correlation ids (old files,
+Ryu ingests) degrade gracefully: messages are grouped heuristically by
+flow 5-tuple and occurrence gap, yielding synthetic (negative) ids.
+Dropped or reordered control messages never abort reconstruction — the
+resulting timeline simply reports itself incomplete or non-monotone,
+which is itself diagnostic signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.openflow.log import ControllerLog
+from repro.openflow.match import FlowKey, Match
+from repro.openflow.messages import (
+    ControlMessage,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsReply,
+    PacketIn,
+    PacketOut,
+)
+
+#: Heuristic correlation: two occurrences of the same 5-tuple further apart
+#: than this are distinct flow instances. Generous enough to keep a flow's
+#: FlowRemoved (idle timeout + sweep period after the last packet) attached.
+DEFAULT_OCCURRENCE_GAP = 10.0
+
+#: Stage ordering used to break timestamp ties into causal order.
+_STAGE_ORDER = {
+    "packet_in": 0,
+    "flow_mod": 1,
+    "packet_out": 2,
+    "flow_stats": 3,
+    "flow_removed": 4,
+}
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One stage of a flow's causal chain.
+
+    Attributes:
+        timestamp: controller-side time of the stage.
+        stage: ``packet_in`` | ``flow_mod`` | ``packet_out`` |
+            ``flow_stats`` | ``flow_removed``.
+        dpid: switch the stage concerns.
+        detail: human-readable stage specifics (ports, counters, reason).
+        latency: seconds since the previous event in the timeline
+            (0 for the first event; negative when the capture is reordered).
+    """
+
+    timestamp: float
+    stage: str
+    dpid: str
+    detail: str
+    latency: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self.timestamp,
+            "stage": self.stage,
+            "dpid": self.dpid,
+            "detail": self.detail,
+            "latency_s": self.latency,
+        }
+
+
+@dataclass
+class FlowTimeline:
+    """The reconstructed causal chain of one flow instance.
+
+    Attributes:
+        corr_id: the correlation id (negative for heuristically grouped
+            flows from captures without ids).
+        flow: the flow 5-tuple, when any message carried one.
+        events: the chain, sorted by (timestamp, causal stage order).
+        synthetic: True when the grouping was heuristic, not id-based.
+        annotations: occupancy/queue context sampled from a metrics
+            registry (flow-table occupancy per hop, controller load).
+    """
+
+    corr_id: int
+    flow: Optional[FlowKey] = None
+    events: List[TimelineEvent] = field(default_factory=list)
+    synthetic: bool = False
+    annotations: Dict[str, float] = field(default_factory=dict)
+
+    # -- chain structure ------------------------------------------------
+
+    @property
+    def t_start(self) -> float:
+        return self.events[0].timestamp if self.events else 0.0
+
+    @property
+    def t_end(self) -> float:
+        return self.events[-1].timestamp if self.events else 0.0
+
+    @property
+    def hops(self) -> Tuple[str, ...]:
+        """Switches traversed, in PacketIn order (all dpids as fallback)."""
+        seen: List[str] = []
+        for event in self.events:
+            if event.stage == "packet_in" and event.dpid not in seen:
+                seen.append(event.dpid)
+        if not seen:
+            for event in self.events:
+                if event.dpid not in seen:
+                    seen.append(event.dpid)
+        return tuple(seen)
+
+    @property
+    def complete(self) -> bool:
+        """Trigger, decision, and expiry all present in the chain."""
+        stages = {e.stage for e in self.events}
+        return {"packet_in", "flow_mod", "flow_removed"} <= stages
+
+    @property
+    def monotone(self) -> bool:
+        """Causal order is consistent with the timestamps.
+
+        Events are stored timestamp-sorted, so a plain nondecreasing check
+        would always pass; what a skewed or reordered capture breaks is
+        *causality*: a hop's FlowMod timestamped before the PacketIn that
+        triggered it, or an expiry before the chain's trigger.
+        """
+        first_in: Dict[str, float] = {}
+        for event in self.events:
+            if event.stage == "packet_in" and event.dpid not in first_in:
+                first_in[event.dpid] = event.timestamp
+        trigger = min(first_in.values()) if first_in else None
+        for event in self.events:
+            if event.stage == "flow_mod" and event.dpid in first_in:
+                if event.timestamp < first_in[event.dpid]:
+                    return False
+            elif event.stage == "flow_removed" and trigger is not None:
+                if event.timestamp < trigger:
+                    return False
+        return True
+
+    @property
+    def dropped_stages(self) -> Tuple[str, ...]:
+        """Expected-but-missing stages — the gaps in the chain."""
+        stages = {e.stage for e in self.events}
+        return tuple(
+            s for s in ("packet_in", "flow_mod", "flow_removed") if s not in stages
+        )
+
+    def stage_events(self, stage: str) -> List[TimelineEvent]:
+        return [e for e in self.events if e.stage == stage]
+
+    def controller_latencies(self) -> List[float]:
+        """Per-hop PacketIn -> FlowMod service latencies, in hop order."""
+        out: List[float] = []
+        pending: Dict[str, float] = {}
+        for event in self.events:
+            if event.stage == "packet_in":
+                pending[event.dpid] = event.timestamp
+            elif event.stage == "flow_mod" and event.dpid in pending:
+                out.append(event.timestamp - pending.pop(event.dpid))
+        return out
+
+    @property
+    def total_latency(self) -> float:
+        """First-event to last-install latency (setup portion of the chain).
+
+        Falls back to the whole span when no FlowMod is present.
+        """
+        mods = self.stage_events("flow_mod")
+        if mods:
+            return mods[-1].timestamp - self.t_start
+        return self.t_end - self.t_start
+
+    # -- rendering ------------------------------------------------------
+
+    def describe(self) -> str:
+        """The one-line summary used in listings and evidence chains."""
+        flow = str(self.flow) if self.flow is not None else "<unknown flow>"
+        state = "complete" if self.complete else (
+            "missing " + "+".join(self.dropped_stages)
+        )
+        order = "" if self.monotone else ", REORDERED"
+        tag = "~" if self.synthetic else ""
+        return (
+            f"corr={tag}{self.corr_id} {flow}: {len(self.events)} events, "
+            f"{len(self.hops)} hop(s) [{'>'.join(self.hops)}], {state}{order}"
+        )
+
+    def render(self) -> str:
+        """A multi-line, operator-facing timeline."""
+        lines = [self.describe()]
+        for event in self.events:
+            lines.append(
+                f"  {event.timestamp:12.6f}s  {event.stage:<12} "
+                f"{event.dpid:<8} +{event.latency * 1e3:8.3f}ms  {event.detail}"
+            )
+        crts = self.controller_latencies()
+        if crts:
+            mean_ms = sum(crts) / len(crts) * 1e3
+            lines.append(
+                f"  controller decisions: {len(crts)}, mean {mean_ms:.3f}ms, "
+                f"setup total {self.total_latency * 1e3:.3f}ms"
+            )
+        for key, value in sorted(self.annotations.items()):
+            lines.append(f"  sample {key} = {value:g}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able representation (what ``repro trace --json`` emits)."""
+        return {
+            "corr_id": self.corr_id,
+            "flow": str(self.flow) if self.flow is not None else None,
+            "synthetic": self.synthetic,
+            "complete": self.complete,
+            "monotone": self.monotone,
+            "dropped_stages": list(self.dropped_stages),
+            "hops": list(self.hops),
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "setup_latency_s": self.total_latency,
+            "controller_latencies_s": self.controller_latencies(),
+            "events": [e.to_dict() for e in self.events],
+            "annotations": dict(self.annotations),
+        }
+
+
+# ----------------------------------------------------------------------
+# Reconstruction
+# ----------------------------------------------------------------------
+
+
+def _message_flow(msg: ControlMessage) -> Optional[FlowKey]:
+    """The flow identity a message carries, if recoverable."""
+    if isinstance(msg, (PacketIn, PacketOut)):
+        return msg.flow
+    if isinstance(msg, (FlowMod, FlowRemoved, FlowStatsReply)):
+        match = msg.match
+        if isinstance(match, Match) and match.is_microflow:
+            return FlowKey(
+                src=match.src,
+                dst=match.dst,
+                src_port=match.src_port,
+                dst_port=match.dst_port,
+                proto=match.proto or "tcp",
+            )
+    return None
+
+
+def _stage_of(msg: ControlMessage) -> Optional[str]:
+    if isinstance(msg, PacketIn):
+        return "packet_in"
+    if isinstance(msg, FlowMod):
+        return "flow_mod"
+    if isinstance(msg, PacketOut):
+        return "packet_out"
+    if isinstance(msg, FlowRemoved):
+        return "flow_removed"
+    if isinstance(msg, FlowStatsReply):
+        return "flow_stats"
+    return None
+
+
+def _detail_of(msg: ControlMessage) -> str:
+    if isinstance(msg, PacketIn):
+        return f"table miss, in_port={msg.in_port}"
+    if isinstance(msg, FlowMod):
+        return (
+            f"install out_port={msg.out_port} idle={msg.idle_timeout:g}s"
+            + (f" reply_to=#{msg.in_reply_to}" if msg.in_reply_to is not None else "")
+        )
+    if isinstance(msg, PacketOut):
+        return f"release buffered packet out_port={msg.out_port}"
+    if isinstance(msg, FlowRemoved):
+        return (
+            f"expired ({msg.reason.value}) after {msg.duration:g}s, "
+            f"{msg.byte_count}B/{msg.packet_count}pkt"
+        )
+    if isinstance(msg, FlowStatsReply):
+        return f"counter poll: {msg.byte_count}B/{msg.packet_count}pkt"
+    return type(msg).__name__
+
+
+def _build_timeline(
+    corr_id: int, messages: List[ControlMessage], synthetic: bool
+) -> FlowTimeline:
+    ordered = sorted(
+        messages,
+        key=lambda m: (m.timestamp, _STAGE_ORDER.get(_stage_of(m) or "", 9)),
+    )
+    flow = next(
+        (f for f in (_message_flow(m) for m in ordered) if f is not None), None
+    )
+    timeline = FlowTimeline(corr_id=corr_id, flow=flow, synthetic=synthetic)
+    prev: Optional[float] = None
+    for msg in ordered:
+        stage = _stage_of(msg)
+        if stage is None:
+            continue
+        latency = 0.0 if prev is None else msg.timestamp - prev
+        timeline.events.append(
+            TimelineEvent(
+                timestamp=msg.timestamp,
+                stage=stage,
+                dpid=msg.dpid,
+                detail=_detail_of(msg),
+                latency=latency,
+            )
+        )
+        prev = msg.timestamp
+    return timeline
+
+
+def _annotate(timeline: FlowTimeline, metrics: MetricsRegistry) -> None:
+    """Attach occupancy/queue context from a registry snapshot.
+
+    The registry holds end-of-run occupancy state (flow-table entries per
+    hop, controller load factor, response-latency distribution); attaching
+    it here gives each chain the "how loaded was the machinery" context
+    the ISSUE calls queue/occupancy counters.
+    """
+    for dpid in timeline.hops:
+        gauge = metrics.get("flowtable_entries", dpid=dpid)
+        if gauge is not None:
+            timeline.annotations[f"flowtable_entries{{dpid={dpid}}}"] = float(
+                gauge.value
+            )
+    load = metrics.get("controller_load_factor")
+    if load is not None:
+        timeline.annotations["controller_load_factor"] = float(load.value)
+    response = metrics.get("controller_response_seconds")
+    if isinstance(response, Histogram) and response.count:
+        timeline.annotations["controller_response_mean_s"] = response.mean
+
+
+def reconstruct(
+    log: ControllerLog,
+    metrics: Optional[MetricsRegistry] = None,
+    occurrence_gap: float = DEFAULT_OCCURRENCE_GAP,
+) -> List[FlowTimeline]:
+    """Reconstruct every flow's causal timeline from a capture.
+
+    Messages with correlation ids are grouped exactly; the remainder fall
+    back to (5-tuple, occurrence-gap) grouping with synthetic negative ids.
+    Returns timelines sorted by start time.
+
+    Args:
+        log: the controller capture.
+        metrics: optional registry whose occupancy instruments annotate
+            each timeline (see :func:`_annotate`).
+        occurrence_gap: heuristic-mode split threshold in seconds.
+    """
+    by_corr: Dict[int, List[ControlMessage]] = {}
+    loose: Dict[FlowKey, List[ControlMessage]] = {}
+    for msg in log:
+        if _stage_of(msg) is None:
+            continue
+        if msg.corr_id is not None:
+            by_corr.setdefault(msg.corr_id, []).append(msg)
+            continue
+        flow = _message_flow(msg)
+        if flow is None:
+            continue
+        loose.setdefault(flow, []).append(msg)
+
+    timelines = [
+        _build_timeline(cid, msgs, synthetic=False)
+        for cid, msgs in by_corr.items()
+    ]
+
+    next_synthetic = -1
+    for flow in sorted(loose, key=str):
+        msgs = sorted(loose[flow], key=lambda m: m.timestamp)
+        bucket: List[ControlMessage] = []
+        for msg in msgs:
+            if bucket and msg.timestamp - bucket[-1].timestamp > occurrence_gap:
+                timelines.append(
+                    _build_timeline(next_synthetic, bucket, synthetic=True)
+                )
+                next_synthetic -= 1
+                bucket = []
+            bucket.append(msg)
+        if bucket:
+            timelines.append(_build_timeline(next_synthetic, bucket, synthetic=True))
+            next_synthetic -= 1
+
+    if metrics is not None:
+        for timeline in timelines:
+            _annotate(timeline, metrics)
+    timelines.sort(key=lambda t: (t.t_start, t.corr_id))
+    return timelines
+
+
+class FlightRecorder:
+    """Convenience wrapper binding a capture to its reconstructed chains.
+
+    >>> recorder = FlightRecorder.from_log(log)
+    >>> recorder.timeline(corr_id=12).render()
+    >>> [t for t in recorder.timelines if not t.complete]
+    """
+
+    def __init__(
+        self, timelines: List[FlowTimeline], metrics: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.timelines = timelines
+        self.metrics = metrics
+        self._by_id = {t.corr_id: t for t in timelines}
+
+    @classmethod
+    def from_log(
+        cls,
+        log: ControllerLog,
+        metrics: Optional[MetricsRegistry] = None,
+        occurrence_gap: float = DEFAULT_OCCURRENCE_GAP,
+    ) -> "FlightRecorder":
+        return cls(reconstruct(log, metrics, occurrence_gap), metrics=metrics)
+
+    def __len__(self) -> int:
+        return len(self.timelines)
+
+    def timeline(self, corr_id: int) -> Optional[FlowTimeline]:
+        """The chain for one correlation id, or None."""
+        return self._by_id.get(corr_id)
+
+    def for_flow(self, needle: str) -> List[FlowTimeline]:
+        """Chains whose 5-tuple rendering contains ``needle``.
+
+        ``needle`` may be a full ``src:port->dst:port/proto`` string or any
+        substring of it (a host name, ``"->S8"``, a port, ...).
+        """
+        return [
+            t
+            for t in self.timelines
+            if t.flow is not None and needle in str(t.flow)
+        ]
+
+    def for_component(self, component: str) -> List[FlowTimeline]:
+        """Chains implicating a host, switch, or edge (``"a--b"``).
+
+        A chain matches a switch when it traverses it, a host when the
+        host is a flow endpoint, and an edge when it traverses both
+        endpoints consecutively (or touches the endpoint, for host-switch
+        edges).
+        """
+        out = []
+        for t in self.timelines:
+            if _timeline_touches(t, component):
+                out.append(t)
+        return out
+
+    def incomplete(self) -> List[FlowTimeline]:
+        """Chains with missing stages — the broken flows."""
+        return [t for t in self.timelines if not t.complete]
+
+    def summary(self) -> Dict[str, int]:
+        """Counts handy for the CLI footer and tests."""
+        return {
+            "flows": len(self.timelines),
+            "complete": sum(1 for t in self.timelines if t.complete),
+            "incomplete": sum(1 for t in self.timelines if not t.complete),
+            "synthetic": sum(1 for t in self.timelines if t.synthetic),
+            "reordered": sum(1 for t in self.timelines if not t.monotone),
+        }
+
+
+def _timeline_touches(timeline: FlowTimeline, component: str) -> bool:
+    hops = timeline.hops
+    if component in hops:
+        return True
+    if timeline.flow is not None and component in timeline.flow.endpoints():
+        return True
+    if "--" in component:
+        a, b = component.split("--", 1)
+        for x, y in zip(hops, hops[1:]):
+            if {x, y} == {a, b}:
+                return True
+        # Host--switch edges: the host side never appears as a hop.
+        endpoints = timeline.flow.endpoints() if timeline.flow is not None else ()
+        if (a in hops and b in endpoints) or (b in hops and a in endpoints):
+            return True
+    return False

@@ -157,6 +157,7 @@ class Controller:
             flow=miss.flow,
             in_port=miss.in_port,
             buffer_id=self.log_seq(),
+            corr_id=miss.corr_id,
         )
         if not self.live:
             self._m_dead.inc()
@@ -190,6 +191,7 @@ class Controller:
             idle_timeout=self.config.idle_timeout,
             hard_timeout=self.config.hard_timeout,
             in_reply_to=packet_in.buffer_id,
+            corr_id=miss.corr_id,
         )
         packet_out = PacketOut(
             timestamp=done,
@@ -197,6 +199,7 @@ class Controller:
             flow=miss.flow,
             out_port=out_port,
             buffer_id=packet_in.buffer_id,
+            corr_id=miss.corr_id,
         )
         self.log.append(flow_mod)
         self.log.append(packet_out)

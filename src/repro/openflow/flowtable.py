@@ -32,6 +32,9 @@ class FlowEntry:
         created_at: installation time.
         send_flow_removed: whether expiry emits a ``FlowRemoved``
             (Section VI notes entries may be set up not to).
+        corr_id: flight-recorder correlation id of the flow whose miss
+            installed this entry; stamped onto the expiry ``FlowRemoved``
+            so the causal chain closes (None for proactive installs).
     """
 
     match: Match
@@ -44,6 +47,7 @@ class FlowEntry:
     byte_count: int = 0
     packet_count: int = 0
     last_matched_at: float = field(default=0.0)
+    corr_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.last_matched_at < self.created_at:

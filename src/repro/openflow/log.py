@@ -98,6 +98,25 @@ class ControllerLog:
         """All ``PacketOut`` messages."""
         return self.of_type(PacketOut)
 
+    def correlation_ids(self) -> List[int]:
+        """Distinct flight-recorder correlation ids, in first-seen order.
+
+        Messages without a correlation id (old captures, PortStatus, ...)
+        are skipped; :mod:`repro.obs.flightrec` groups those heuristically.
+        """
+        seen: List[int] = []
+        known = set()
+        for _, _, msg in self._messages:
+            cid = msg.corr_id
+            if cid is not None and cid not in known:
+                known.add(cid)
+                seen.append(cid)
+        return seen
+
+    def correlated(self, corr_id: int) -> "ControllerLog":
+        """The sub-log of one flow's causal chain (messages with this id)."""
+        return self.filter(lambda msg: msg.corr_id == corr_id)
+
     def filter(self, predicate: Callable[[ControlMessage], bool]) -> "ControllerLog":
         """Return a sub-log of messages satisfying ``predicate``."""
         sub = ControllerLog()

@@ -41,10 +41,19 @@ class ControlMessage:
     Attributes:
         timestamp: controller-side wall-clock time in seconds.
         dpid: datapath identifier of the switch the message concerns.
+        corr_id: flight-recorder correlation id. Every flow instance
+            injected into the simulated network is assigned one id at its
+            source; the id rides along the PacketIn raised at each hop,
+            the FlowMod/PacketOut replies, and the eventual FlowRemoved,
+            so the full causal chain of one flow can be reconstructed from
+            the log alone (:mod:`repro.obs.flightrec`). ``None`` for
+            messages outside any flow's causal chain (e.g. PortStatus) and
+            for captures taken from controllers that do not stamp ids.
     """
 
     timestamp: float
     dpid: str
+    corr_id: Optional[int] = None
 
 
 @dataclass(frozen=True)

@@ -101,6 +101,8 @@ def message_to_json(message: ControlMessage) -> Dict[str, Any]:
         "ts": message.timestamp,
         "dpid": message.dpid,
     }
+    if message.corr_id is not None:
+        out["corr"] = message.corr_id
     if isinstance(message, PacketIn):
         out.update(
             flow=_flow_to_json(message.flow),
@@ -154,10 +156,12 @@ def message_from_json(data: Dict[str, Any]) -> ControlMessage:
     name = data.get("type")
     ts = data["ts"]
     dpid = data["dpid"]
+    corr = data.get("corr")
     if name == "packet_in":
         return PacketIn(
             timestamp=ts,
             dpid=dpid,
+            corr_id=corr,
             flow=_flow_from_json(data["flow"]),
             in_port=data.get("in_port", 0),
             buffer_id=data.get("buffer_id", 0),
@@ -166,6 +170,7 @@ def message_from_json(data: Dict[str, Any]) -> ControlMessage:
         return PacketOut(
             timestamp=ts,
             dpid=dpid,
+            corr_id=corr,
             flow=_flow_from_json(data["flow"]),
             out_port=data.get("out_port", 0),
             buffer_id=data.get("buffer_id", 0),
@@ -174,6 +179,7 @@ def message_from_json(data: Dict[str, Any]) -> ControlMessage:
         return FlowMod(
             timestamp=ts,
             dpid=dpid,
+            corr_id=corr,
             match=_match_from_json(data["match"]),
             out_port=data.get("out_port", 0),
             idle_timeout=data.get("idle", 5.0),
@@ -186,6 +192,7 @@ def message_from_json(data: Dict[str, Any]) -> ControlMessage:
         return FlowRemoved(
             timestamp=ts,
             dpid=dpid,
+            corr_id=corr,
             match=_match_from_json(data["match"]),
             duration=data.get("duration", 0.0),
             byte_count=data.get("bytes", 0),
@@ -194,19 +201,26 @@ def message_from_json(data: Dict[str, Any]) -> ControlMessage:
         )
     if name == "port_status":
         return PortStatus(
-            timestamp=ts, dpid=dpid, port=data.get("port", 0), live=data.get("live", True)
+            timestamp=ts,
+            dpid=dpid,
+            corr_id=corr,
+            port=data.get("port", 0),
+            live=data.get("live", True),
         )
     if name == "flow_stats":
         return FlowStatsReply(
             timestamp=ts,
             dpid=dpid,
+            corr_id=corr,
             match=_match_from_json(data["match"]),
             byte_count=data.get("bytes", 0),
             packet_count=data.get("packets", 0),
             duration=data.get("duration", 0.0),
         )
     if name == "echo":
-        return EchoRequest(timestamp=ts, dpid=dpid, replied=data.get("replied", True))
+        return EchoRequest(
+            timestamp=ts, dpid=dpid, corr_id=corr, replied=data.get("replied", True)
+        )
     raise ValueError(f"unknown control message type {name!r}")
 
 

@@ -20,11 +20,17 @@ from repro.openflow.messages import FlowRemovedReason
 
 @dataclass(frozen=True)
 class TableMiss:
-    """The metadata a switch reports to the controller on a table miss."""
+    """The metadata a switch reports to the controller on a table miss.
+
+    ``corr_id`` is the flight-recorder correlation id of the flow instance
+    whose packet missed; the controller copies it onto the PacketIn and
+    its FlowMod/PacketOut replies so the causal chain stays linked.
+    """
 
     dpid: str
     flow: FlowKey
     in_port: int
+    corr_id: Optional[int] = None
 
 
 class OpenFlowSwitch:
@@ -54,7 +60,13 @@ class OpenFlowSwitch:
         self.miss_count = 0
 
     def process_packet(
-        self, key: FlowKey, in_port: int, now: float, nbytes: int, npackets: int = 1
+        self,
+        key: FlowKey,
+        in_port: int,
+        now: float,
+        nbytes: int,
+        npackets: int = 1,
+        corr_id: Optional[int] = None,
     ) -> Tuple[Optional[int], Optional[TableMiss]]:
         """Process an arriving packet (or packet burst) at ``now``.
 
@@ -68,7 +80,9 @@ class OpenFlowSwitch:
         entry = self.table.lookup(key, now)
         if entry is None:
             self.miss_count += 1
-            return None, TableMiss(dpid=self.dpid, flow=key, in_port=in_port)
+            return None, TableMiss(
+                dpid=self.dpid, flow=key, in_port=in_port, corr_id=corr_id
+            )
         entry.record_match(now, nbytes, npackets)
         self.port_bytes[entry.out_port] = (
             self.port_bytes.get(entry.out_port, 0) + nbytes
@@ -84,6 +98,7 @@ class OpenFlowSwitch:
         hard_timeout: float = 0.0,
         priority: int = 0,
         send_flow_removed: bool = True,
+        corr_id: Optional[int] = None,
     ) -> FlowEntry:
         """Install a flow entry, returning it for counter inspection."""
         entry = FlowEntry(
@@ -94,6 +109,7 @@ class OpenFlowSwitch:
             hard_timeout=hard_timeout,
             created_at=now,
             send_flow_removed=send_flow_removed,
+            corr_id=corr_id,
         )
         self.table.install(entry)
         return entry

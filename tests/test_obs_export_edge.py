@@ -1,0 +1,84 @@
+"""Prometheus exposition edge cases (``repro.obs.export``).
+
+The renderer is only useful if a scrape survives hostile inputs: label
+values containing quote/backslash/newline characters, registries with
+nothing in them, and non-finite gauge values.
+"""
+
+import math
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestLabelEscaping:
+    def test_double_quote_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", path='say "hi"').inc()
+        text = render_prometheus(reg)
+        assert 'path="say \\"hi\\""' in text
+
+    def test_backslash_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", path="C:\\logs").inc()
+        assert 'path="C:\\\\logs"' in render_prometheus(reg)
+
+    def test_newline_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", msg="line1\nline2").inc()
+        text = render_prometheus(reg)
+        assert 'msg="line1\\nline2"' in text
+        # The rendered sample itself must stay on one physical line.
+        sample = [ln for ln in text.splitlines() if ln.startswith("hits_total")]
+        assert len(sample) == 1
+
+    def test_backslash_before_quote_ordering(self):
+        # A value ending in a backslash followed by a quote must not
+        # produce an escaped quote that terminates the label early.
+        reg = MetricsRegistry()
+        reg.counter("hits_total", v='trailing\\').inc()
+        assert 'v="trailing\\\\"' in render_prometheus(reg)
+
+    def test_histogram_labels_escaped_on_every_series(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds", src='a"b').observe(0.5)
+        text = render_prometheus(reg)
+        for suffix in ("_bucket", "_sum", "_count"):
+            assert any(
+                line.startswith(f"lat_seconds{suffix}") and '\\"' in line
+                for line in text.splitlines()
+            ), suffix
+
+
+class TestEmptyRegistry:
+    def test_renders_empty_string(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_no_trailing_garbage(self):
+        text = render_prometheus(MetricsRegistry())
+        assert text.strip() == ""
+
+
+class TestNonFiniteValues:
+    def test_nan_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(float("nan"))
+        assert "ratio NaN" in render_prometheus(reg)
+
+    def test_positive_infinity(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(math.inf)
+        assert "ratio +Inf" in render_prometheus(reg)
+
+    def test_negative_infinity(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(-math.inf)
+        assert "ratio -Inf" in render_prometheus(reg)
+
+    def test_finite_values_unaffected(self):
+        reg = MetricsRegistry()
+        reg.gauge("a").set(2.0)
+        reg.gauge("b").set(2.5)
+        text = render_prometheus(reg)
+        assert "a 2\n" in text + "\n"
+        assert "b 2.5" in text
