@@ -53,7 +53,7 @@ def record_table(results_dir):
     def _record(name: str, lines: Iterable[str]) -> str:
         text = "\n".join(lines)
         path = os.path.join(results_dir, f"{name}.txt")
-        with open(path, "w") as fh:
+        with open(path, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
         print(f"\n=== {name} ===")
         print(text)

@@ -72,6 +72,83 @@ def run_obs_overhead_bench(
     }
 
 
+def run_parallel_cache_bench(repeats: int = 7) -> Dict[str, Any]:
+    """Benchmark the sharded parallel pipeline and the model cache.
+
+    Uses a Figure-13-style capture (the 320-server tree with 9 random
+    three-tier apps) so the modeling cost is dominated by extraction and
+    signature building, the phases the sharded pipeline restructures.
+    Records, commit to commit:
+
+    * ``speedup``: best-of-``repeats`` ``jobs=1`` vs ``jobs=4`` modeling
+      time. On a single-CPU runner the parallel path still wins by
+      reusing shard work across the model and its stability intervals
+      (the serial path re-extracts the log per interval); ``cpus`` is
+      recorded so multi-core numbers are read in context.
+    * ``dict_identical``: the exactness contract —
+      ``model_to_dict(serial) == model_to_dict(parallel)``.
+    * ``cache``: cold store vs warm load of the same request, and
+      whether the warm path skipped remodeling entirely.
+    """
+    import gc
+    import tempfile
+
+    from repro import FlowDiff
+    from repro.core.flowdiff import FlowDiffConfig
+    from repro.core.persist import model_to_dict
+    from repro.scenarios import scalability_sim
+
+    network, workload = scalability_sim(9, seed=11)
+    workload.start(0.0, 20.0)
+    network.sim.run(until=23.0)
+    log = network.log
+
+    def timed_model(fd: "FlowDiff"):
+        gc.collect()  # allocation noise from earlier benches skews the ratio
+        started = time.perf_counter()
+        model = fd.model(log)
+        return time.perf_counter() - started, model
+
+    # Interleave the repeats so transient host noise (shared CI runners)
+    # lands on both legs instead of biasing whichever ran second.
+    serial_fd = FlowDiff(FlowDiffConfig(jobs=1))
+    parallel_fd = FlowDiff(FlowDiffConfig(jobs=4))
+    serial_s = parallel_s = float("inf")
+    serial_built = parallel_built = None
+    for _ in range(max(1, repeats)):
+        elapsed, serial_built = timed_model(serial_fd)
+        serial_s = min(serial_s, elapsed)
+        elapsed, parallel_built = timed_model(parallel_fd)
+        parallel_s = min(parallel_s, elapsed)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        fd = FlowDiff(FlowDiffConfig(jobs=4, cache_dir=cache_dir))
+        started = time.perf_counter()
+        cold_model = fd.model(log)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm_model = fd.model(log)
+        warm_s = time.perf_counter() - started
+
+    return {
+        "scenario": "scalability_sim(9 apps, 20s)",
+        "messages": len(log),
+        "cpus": os.cpu_count(),
+        "jobs1_s": round(serial_s, 6),
+        "jobs4_s": round(parallel_s, 6),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
+        "dict_identical": model_to_dict(serial_built) == model_to_dict(parallel_built),
+        "cache": {
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "warm_skips_remodeling": warm_s < cold_s / 10.0,
+            "warm_dict_identical": model_to_dict(warm_model)
+            == model_to_dict(cold_model),
+        },
+        "repeats": repeats,
+    }
+
+
 def run_pipeline_bench(
     seed: int = BENCH_SEED, duration: float = BENCH_DURATION, repeats: int = 3
 ) -> Dict[str, Any]:
@@ -111,6 +188,7 @@ def run_pipeline_bench(
         "phases": {name: round(seconds, 6) for name, seconds in sorted(best.items())},
         "total_s": round(best.get("model", 0.0) + best.get("diff", 0.0), 6),
         "obs_overhead": run_obs_overhead_bench(log=log),
+        "parallel": run_parallel_cache_bench(),
         "python": platform.python_version(),
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
@@ -119,7 +197,7 @@ def run_pipeline_bench(
 def emit(path: str = DEFAULT_OUT, **kwargs: Any) -> str:
     """Write the pipeline benchmark JSON to ``path`` and return the path."""
     payload = run_pipeline_bench(**kwargs)
-    with open(path, "w") as fh:
+    with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
@@ -132,7 +210,7 @@ def main() -> int:
     parser.add_argument("--duration", type=float, default=BENCH_DURATION)
     args = parser.parse_args()
     path = emit(args.out, seed=args.seed, duration=args.duration)
-    with open(path) as fh:
+    with open(path, encoding="utf-8") as fh:
         print(fh.read())
     print(f"wrote {path}")
     return 0

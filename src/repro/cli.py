@@ -280,7 +280,29 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 def _config(args: argparse.Namespace) -> FlowDiffConfig:
     special = tuple(args.special_nodes.split(",")) if args.special_nodes else ()
-    return FlowDiffConfig(signature=SignatureConfig(special_nodes=special))
+    return FlowDiffConfig(
+        signature=SignatureConfig(special_nodes=special),
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
+def _add_model_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """The shared modeling-performance surface of model/diff/monitor."""
+    sub_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="modeling parallelism: 1 = serial (default), N = sharded "
+        "pipeline with up to N workers, 0 = one worker per CPU; the "
+        "result is identical to serial either way",
+    )
+    sub_parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache built models in DIR keyed by capture content and "
+        "config, so re-modeling an unchanged capture is skipped",
+    )
 
 
 def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
@@ -363,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="native",
         help="capture format: native JSONL or a Ryu event dump",
     )
+    _add_model_flags(mdl)
     _add_obs_flags(mdl)
     mdl.set_defaults(fn=_cmd_model)
 
@@ -392,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="native",
         help="capture format: native JSONL or a Ryu event dump",
     )
+    _add_model_flags(diff)
     _add_obs_flags(diff)
     diff.set_defaults(fn=_cmd_diff)
 
@@ -466,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="native",
         help="capture format: native JSONL or a Ryu event dump",
     )
+    _add_model_flags(mon)
     _add_obs_flags(mon)
     mon.set_defaults(fn=_cmd_monitor)
     return parser

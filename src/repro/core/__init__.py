@@ -16,13 +16,25 @@ from repro.core.events import (
     HopReport,
     extract_flow_arrivals,
     extract_flow_records,
+    join_flow_records,
+    splits_occurrence,
     timed_flows,
 )
 from repro.core.groups import ApplicationGroup, extract_groups, match_groups
 from repro.core.model import BehaviorModel
 from repro.core.flowdiff import FlowDiff, FlowDiffConfig
 from repro.core.monitor import SlidingDiagnoser, WindowReport
-from repro.core.persist import load_model, model_from_dict, model_to_dict, save_model
+from repro.core.parallel import parallel_model
+from repro.core.persist import (
+    ModelCache,
+    ModelLoadError,
+    load_model,
+    log_fingerprint,
+    model_cache_key,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
 from repro.core.stability import StabilityThresholds, assess_stability
 from repro.core.tasks import TaskDetector, TaskEvent, TaskLibrary, TaskSignature
 
@@ -32,6 +44,8 @@ __all__ = [
     "HopReport",
     "extract_flow_arrivals",
     "extract_flow_records",
+    "join_flow_records",
+    "splits_occurrence",
     "timed_flows",
     "ApplicationGroup",
     "extract_groups",
@@ -41,6 +55,11 @@ __all__ = [
     "FlowDiffConfig",
     "SlidingDiagnoser",
     "WindowReport",
+    "parallel_model",
+    "ModelCache",
+    "ModelLoadError",
+    "log_fingerprint",
+    "model_cache_key",
     "load_model",
     "model_from_dict",
     "model_to_dict",

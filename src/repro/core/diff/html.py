@@ -145,5 +145,5 @@ def report_to_html(report: DiagnosisReport, title: str = "FlowDiff diagnosis") -
 
 def save_html_report(report: DiagnosisReport, path: str, title: str = "FlowDiff diagnosis") -> None:
     """Write the HTML rendering to ``path``."""
-    with open(path, "w") as fh:
+    with open(path, "w", encoding="utf-8") as fh:
         fh.write(report_to_html(report, title=title))

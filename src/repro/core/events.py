@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.occurrence import splits_occurrence
 from repro.openflow.log import ControllerLog
 from repro.openflow.match import FlowKey
 from repro.openflow.messages import FlowMod, FlowRemoved, PacketIn
@@ -97,6 +98,17 @@ class FlowRecord:
     duration: float
 
 
+def arrival_sort_key(arrival: FlowArrival) -> Tuple[float, FlowKey]:
+    """Deterministic ordering for arrival lists: (time, flow key).
+
+    The flow-key tiebreak makes the order independent of extraction
+    strategy, so the sharded parallel pipeline and the serial path emit
+    byte-identical arrival sequences even when two flows start at the
+    same timestamp.
+    """
+    return (arrival.time, arrival.flow)
+
+
 def extract_flow_arrivals(
     log: ControllerLog, occurrence_gap: float = 1.0
 ) -> List[FlowArrival]:
@@ -143,7 +155,7 @@ def extract_flow_arrivals(
 
     for pin in log.packet_ins():
         flow = pin.flow
-        if flow in open_runs and pin.timestamp - last_seen[flow] > occurrence_gap:
+        if flow in open_runs and splits_occurrence(last_seen[flow], pin.timestamp, occurrence_gap):
             close(flow)
         mod = find_mod(pin)
         hop = HopReport(
@@ -158,7 +170,7 @@ def extract_flow_arrivals(
 
     for flow in list(open_runs):
         close(flow)
-    arrivals.sort(key=lambda a: a.time)
+    arrivals.sort(key=arrival_sort_key)
     return arrivals
 
 
@@ -174,47 +186,64 @@ def extract_flow_records(
     (they are still useful for structural signatures).
     """
     arrivals = extract_flow_arrivals(log, occurrence_gap)
-    removed = log.flow_removed()
+    return join_flow_records(arrivals, log.flow_removed())
 
-    # Index expiry reports for O(1) joining. Microflow matches are keyed by
-    # their exact 5-tuple per dpid; wildcard matches (rare in reactive
-    # deployments) fall back to a small linear list.
-    exact: Dict[Tuple[FlowKey, str], List[FlowRemoved]] = {}
+
+def join_flow_records(
+    arrivals: List[FlowArrival], removed: List[FlowRemoved]
+) -> List[FlowRecord]:
+    """Join already-extracted arrivals with time-ordered expiry reports.
+
+    The single joining implementation shared by the serial path (via
+    :func:`extract_flow_records`) and the sharded parallel pipeline
+    (:mod:`repro.core.parallel`), which stitches arrivals across shard
+    boundaries first and joins once over the full window. ``removed``
+    must be in log (time) order — consumption cursors rely on it.
+    """
+    # Index expiry reports for O(1) joining, keyed flow-first so the hot
+    # loop hashes each arrival's flow once rather than once per hop. Keys
+    # are plain 5-tuples — hashing one is several times cheaper than a
+    # dataclass FlowKey, and this loop runs once per expiry report.
+    # Microflow matches are keyed by their exact 5-tuple per dpid; wildcard
+    # matches (rare in reactive deployments) fall back to a small linear list.
+    exact: Dict[tuple, Dict[str, List[FlowRemoved]]] = {}
     wildcards: List[List] = []  # [FlowRemoved, consumed_flag]
     for fr in removed:
         m = fr.match
         if m is not None and m.is_microflow:
-            key = FlowKey(
-                src=m.src, dst=m.dst, src_port=m.src_port,
-                dst_port=m.dst_port, proto=m.proto,
-            )
-            exact.setdefault((key, fr.dpid), []).append(fr)
+            key = (m.src, m.dst, m.src_port, m.dst_port, m.proto)
+            exact.setdefault(key, {}).setdefault(fr.dpid, []).append(fr)
         else:
             wildcards.append([fr, False])
     # Per-bucket cursor: reports are already time-ordered within the log.
-    cursors: Dict[Tuple[FlowKey, str], int] = {}
+    cursors: Dict[tuple, Dict[str, int]] = {}
 
     records: List[FlowRecord] = []
     for arrival in arrivals:
         best_bytes = 0
         best_packets = 0
         best_duration = 0.0
-        on_path = set(arrival.path_dpids)
+        on_path = {h.dpid for h in arrival.hops}
         taken_dpids: set = set()
-        for dpid in on_path:
-            bucket = exact.get((arrival.flow, dpid))
-            if not bucket:
-                continue
-            i = cursors.get((arrival.flow, dpid), 0)
-            while i < len(bucket) and bucket[i].timestamp < arrival.time:
-                i += 1
-            if i < len(bucket):
-                fr = bucket[i]
-                cursors[(arrival.flow, dpid)] = i + 1
-                taken_dpids.add(dpid)
-                best_bytes = max(best_bytes, fr.byte_count)
-                best_packets = max(best_packets, fr.packet_count)
-                best_duration = max(best_duration, fr.duration)
+        f = arrival.flow
+        flow_key = (f.src, f.dst, f.src_port, f.dst_port, f.proto)
+        by_dpid = exact.get(flow_key)
+        if by_dpid:
+            flow_cursors = cursors.setdefault(flow_key, {})
+            for dpid in on_path:
+                bucket = by_dpid.get(dpid)
+                if not bucket:
+                    continue
+                i = flow_cursors.get(dpid, 0)
+                while i < len(bucket) and bucket[i].timestamp < arrival.time:
+                    i += 1
+                if i < len(bucket):
+                    fr = bucket[i]
+                    flow_cursors[dpid] = i + 1
+                    taken_dpids.add(dpid)
+                    best_bytes = max(best_bytes, fr.byte_count)
+                    best_packets = max(best_packets, fr.packet_count)
+                    best_duration = max(best_duration, fr.duration)
         for item in wildcards:
             fr, consumed = item
             if consumed or fr.timestamp < arrival.time:

@@ -51,6 +51,15 @@ class FlowDiffConfig:
             0 disables assessment (all signatures treated stable).
         explanations: task-type -> explainable-change-kind rules used
             during validation.
+        jobs: modeling parallelism. 1 (the default) runs the serial
+            pipeline; any other value routes :meth:`FlowDiff.model`
+            through the sharded pipeline in :mod:`repro.core.parallel`
+            (0 or negative means "one worker per CPU"). The parallel
+            path produces a model identical to the serial one and falls
+            back to serial when a log cannot be sharded exactly.
+        cache_dir: when set, models are cached on disk keyed by log
+            content, model-relevant config, and format version, so
+            re-modeling an unchanged baseline is skipped.
     """
 
     signature: SignatureConfig = field(default_factory=SignatureConfig)
@@ -58,6 +67,8 @@ class FlowDiffConfig:
     stability: StabilityThresholds = field(default_factory=StabilityThresholds)
     stability_parts: int = 3
     explanations: Tuple[TaskExplanation, ...] = DEFAULT_EXPLANATIONS
+    jobs: int = 1
+    cache_dir: Optional[str] = None
 
     @classmethod
     def with_special_nodes(cls, special_nodes: Sequence[str]) -> "FlowDiffConfig":
@@ -101,48 +112,100 @@ class FlowDiff:
         log: ControllerLog,
         window: Optional[Tuple[float, float]] = None,
         assess: bool = True,
+        records: Optional[Sequence] = None,
     ) -> BehaviorModel:
         """Build the behavior model of one log window.
+
+        With ``config.jobs != 1`` the sharded parallel pipeline
+        (:mod:`repro.core.parallel`) is used; it yields a model identical
+        to the serial path and falls back to it when the log cannot be
+        sharded exactly. With ``config.cache_dir`` set, the model is
+        served from / stored into the content-addressed cache.
 
         Args:
             log: the controller capture.
             window: explicit bounds; defaults to the log's span.
             assess: whether to run stability assessment (skippable for
                 short logs or performance benchmarks).
+            records: pre-extracted flow records for this log (as produced
+                by :func:`~repro.core.events.extract_flow_records`);
+                supplying them skips extraction — the sliding monitor
+                uses this to model one window it already decoded.
         """
         if window is None:
             window = log.time_span
+        cache = self._model_cache(log, window, assess) if records is None else None
+        if cache is not None:
+            cached = cache.load()
+            if cached is not None:
+                self._m_models.inc()
+                return cached
         with self.tracer.span("model", messages=len(log)):
+            model: Optional[BehaviorModel] = None
+            if self.config.jobs != 1 and records is None:
+                from repro.core.parallel import parallel_model
+
+                model = parallel_model(self, log, window, assess)
+            if model is None:
+                model = self._model_serial(log, window, assess, records)
+        self._m_models.inc()
+        if cache is not None:
+            cache.store(model)
+        return model
+
+    def _model_cache(
+        self,
+        log: ControllerLog,
+        window: Tuple[float, float],
+        assess: bool,
+    ):
+        """The cache entry handle for this request, or None when disabled."""
+        if self.config.cache_dir is None:
+            return None
+        from repro.core.persist import ModelCache
+
+        return ModelCache(
+            self.config.cache_dir, metrics=self.metrics, tracer=self.tracer
+        ).entry(log, self.config, window=window, assess=assess)
+
+    def _model_serial(
+        self,
+        log: ControllerLog,
+        window: Tuple[float, float],
+        assess: bool,
+        records: Optional[Sequence] = None,
+    ) -> BehaviorModel:
+        """The reference serial modeling pipeline."""
+        if records is None:
             with self.tracer.span("extract"):
                 records = extract_flow_records(
                     log, self.config.signature.occurrence_gap
                 )
-            with self.tracer.span("app-signature"):
-                app_sigs = build_application_signatures(
-                    log, self.config.signature, window=window, records=records
-                )
-            with self.tracer.span("infra-signature"):
-                from repro.openflow.messages import PortStatus
+        with self.tracer.span("app-signature"):
+            app_sigs = build_application_signatures(
+                log, self.config.signature, window=window, records=records
+            )
+        with self.tracer.span("infra-signature"):
+            from repro.openflow.messages import PortStatus
 
-                port_down = [
-                    (msg.timestamp, msg.dpid, msg.port)
-                    for msg in log.of_type(PortStatus)
-                    if not msg.live
-                ]
-                infra = build_infrastructure_signature(
-                    [r.arrival for r in records], port_down_events=port_down
+            port_down = [
+                (msg.timestamp, msg.dpid, msg.port)
+                for msg in log.of_type(PortStatus)
+                if not msg.live
+            ]
+            infra = build_infrastructure_signature(
+                [r.arrival for r in records], port_down_events=port_down
+            )
+        stability = {}
+        if assess and self.config.stability_parts >= 2:
+            with self.tracer.span("stability"):
+                stability = assess_stability(
+                    log,
+                    self.config.signature,
+                    parts=self.config.stability_parts,
+                    thresholds=self.config.stability,
+                    window=window,
                 )
-            stability = {}
-            if assess and self.config.stability_parts >= 2:
-                with self.tracer.span("stability"):
-                    stability = assess_stability(
-                        log,
-                        self.config.signature,
-                        parts=self.config.stability_parts,
-                        thresholds=self.config.stability,
-                        window=window,
-                    )
-        self._m_models.inc()
         return BehaviorModel(
             app_signatures=app_sigs,
             infrastructure=infra,

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.diff.report import DiagnosisReport
+from repro.core.events import extract_flow_records
 from repro.core.flowdiff import FlowDiff, FlowDiffConfig
 from repro.core.model import BehaviorModel
 from repro.core.tasks.library import TaskLibrary
@@ -127,7 +128,14 @@ class SlidingDiagnoser:
             t1 = t0 + self.window
             started = time.perf_counter()
             sub = log.window(t0, t1)
-            current = self.flowdiff.model(sub, window=(t0, t1), assess=False)
+            # Decode the window once; the same records feed the window
+            # model and (below) a potential re-anchored baseline model.
+            records = extract_flow_records(
+                sub, self.flowdiff.config.signature.occurrence_gap
+            )
+            current = self.flowdiff.model(
+                sub, window=(t0, t1), assess=False, records=records
+            )
             report = self.flowdiff.diff(
                 self.baseline,
                 current,
@@ -155,7 +163,9 @@ class SlidingDiagnoser:
             ):
                 # Re-anchor on the most recent healthy window. A full
                 # model (with stability assessment) replaces the baseline.
-                self.baseline = self.flowdiff.model(sub, window=(t0, t1))
+                self.baseline = self.flowdiff.model(
+                    sub, window=(t0, t1), records=records
+                )
                 self.rebaseline_count += 1
         return new_reports
 

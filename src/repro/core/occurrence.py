@@ -1,0 +1,27 @@
+"""The occurrence-gap boundary rule, in one place.
+
+A 5-tuple can recur (connection reuse, periodic jobs); reports of the
+same flow key separated by more than ``occurrence_gap`` seconds belong to
+distinct occurrences. Signature extraction (:mod:`repro.core.events`) and
+the flight recorder's heuristic trace grouping
+(:mod:`repro.obs.flightrec`) both consume this predicate, so the two can
+never disagree on whether a boundary-case report splits.
+
+This module is intentionally dependency-free: it sits below both
+``repro.core`` and ``repro.obs`` in the import graph.
+"""
+
+from __future__ import annotations
+
+
+def splits_occurrence(previous_ts: float, ts: float, occurrence_gap: float) -> bool:
+    """True when a report at ``ts`` starts a *new* occurrence of a flow
+    whose previous report was at ``previous_ts``.
+
+    The boundary is strictly greater-than: a report at exactly
+    ``previous_ts + occurrence_gap`` still belongs to the same
+    occurrence. No epsilon is applied — both callers feed raw float
+    timestamps, so applying the same exact comparison on both sides is
+    what keeps them consistent.
+    """
+    return ts - previous_ts > occurrence_gap

@@ -1,0 +1,358 @@
+"""Sharded, incremental modeling: the parallel path behind ``FlowDiff.model``.
+
+The serial modeling path decodes the whole log once for the model and
+then, for stability assessment, re-decodes it ``parts + 1`` more times
+(one full rebuild plus one windowed rebuild per sub-interval). This
+module replaces all of that with a single sharded pass, the shape the
+paper's Figure 13 scalability argument needs:
+
+1. **Shard** the log into time slices (aligned with the stability
+   sub-intervals whenever possible, so shard work doubles as stability
+   work) and, per shard, group ``PacketIn``/``FlowMod`` pairs into
+   per-flow occurrence *runs* — in a ``ProcessPoolExecutor`` when more
+   than one CPU is available, inline otherwise.
+2. **Stitch** runs that straddle shard boundaries: a head run whose first
+   report falls within ``occurrence_gap`` of the previous shard's tail
+   run is the *same* occurrence and is joined, not double-counted. The
+   stitched arrival stream is byte-identical to the serial extraction.
+3. **Derive** per-shard interval signatures inside the workers (same
+   semantics as the serial path's ``log.window(a, b)`` rebuilds: runs
+   truncated at slice bounds, ``FlowMod``/``FlowRemoved`` pairings
+   restricted to the slice) and hand them to
+   :func:`~repro.core.stability.assess_stability` instead of re-decoding.
+
+Exactness is load-bearing: ``model_to_dict(serial) ==
+model_to_dict(parallel)`` is asserted by tests. Two log shapes cannot be
+sharded without changing pairing semantics — ``FlowMod`` replies lacking
+``in_reply_to`` (the ordered fallback consumption is stateful across the
+whole window) and duplicate reply ids (the winning reply would depend on
+the slice) — and for those :func:`parallel_model` declines, the caller
+falls back to the serial path, and a ``flowdiff_parallel_fallback_total``
+counter records why.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.timeseries import split_intervals
+from repro.core.events import (
+    FlowArrival,
+    HopReport,
+    arrival_sort_key,
+    join_flow_records,
+    splits_occurrence,
+)
+from repro.core.model import BehaviorModel
+from repro.core.signatures.application import (
+    ApplicationSignature,
+    build_application_signatures,
+)
+from repro.core.signatures.infrastructure import build_infrastructure_signature
+from repro.core.stability import assess_stability
+from repro.openflow.log import ControllerLog
+from repro.openflow.match import FlowKey
+from repro.openflow.messages import FlowMod, FlowRemoved, PacketIn, PortStatus
+
+#: A run of hop reports belonging to one flow occurrence (mutable while
+#: being grown/stitched, frozen into a FlowArrival at the end).
+Run = List[HopReport]
+
+#: Worker-shared state for the fork-based pool: set by the parent just
+#: before the fan-out so children inherit it copy-on-write instead of
+#: receiving multi-megabyte pickled arguments per task.
+_SHARED: Optional[Dict[str, Any]] = None
+
+
+def default_shard_count(jobs: int) -> int:
+    """Shard count when stability alignment doesn't dictate one."""
+    return max(2, min(max(jobs, 2), 8))
+
+
+def _effective_workers(jobs: int, n_shards: int) -> int:
+    import os
+
+    cpus = os.cpu_count() or 1
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        pass
+    return max(1, min(jobs, n_shards, cpus))
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _extract_shard(
+    index: int,
+) -> Tuple[int, Dict[FlowKey, List[Run]], Optional[Dict[str, ApplicationSignature]], float]:
+    """Worker: group one shard's PacketIns into per-flow occurrence runs.
+
+    Reads the module-global :data:`_SHARED` plan (inherited via fork, or
+    set directly in inline mode). Head and tail runs are provisional —
+    the parent stitches them across shard boundaries. When the shard
+    doubles as a stability interval, the interval's application
+    signatures are built here too, from an interval-semantics view of the
+    same runs (truncated at the bounds, out-of-slice pairings dropped).
+    """
+    shared = _SHARED
+    assert shared is not None, "_extract_shard called without a shard plan"
+    started = time.perf_counter()
+    pins: List[PacketIn] = shared["pins_by_shard"][index]
+    mods_by_reply: Dict[int, FlowMod] = shared["mods_by_reply"]
+    gap: float = shared["occurrence_gap"]
+
+    runs: Dict[FlowKey, List[Run]] = {}
+    last_ts: Dict[FlowKey, float] = {}
+    for pin in pins:
+        mod = mods_by_reply.get(pin.buffer_id)
+        hop = HopReport(
+            dpid=pin.dpid,
+            in_port=pin.in_port,
+            packet_in_at=pin.timestamp,
+            flow_mod_at=mod.timestamp if mod else None,
+            out_port=mod.out_port if mod else None,
+        )
+        flow = pin.flow
+        prev = last_ts.get(flow)
+        if prev is not None and not splits_occurrence(prev, pin.timestamp, gap):
+            runs[flow][-1].append(hop)
+        else:
+            runs.setdefault(flow, []).append([hop])
+        last_ts[flow] = pin.timestamp
+
+    interval_sigs: Optional[Dict[str, ApplicationSignature]] = None
+    if shared["build_interval_sigs"]:
+        a, b = shared["bounds"][index]
+        # Interval semantics mirror the serial `log.window(a, b)` rebuild:
+        # only reports with a <= ts < b exist, so runs are truncated at the
+        # slice end (the trailing filter only bites in the final shard,
+        # which also holds the ts == t_end reports for the *full* view)
+        # and FlowMod pairings outside [a, b) are dropped.
+        interval_arrivals: List[FlowArrival] = []
+        for flow, flow_runs in runs.items():
+            for hops in flow_runs:
+                ihops = [h for h in hops if h.packet_in_at < b]
+                if not ihops:
+                    continue
+                interval_arrivals.append(
+                    FlowArrival(
+                        flow=flow,
+                        time=ihops[0].packet_in_at,
+                        hops=tuple(
+                            h
+                            if h.flow_mod_at is None or a <= h.flow_mod_at < b
+                            else replace(h, flow_mod_at=None, out_port=None)
+                            for h in ihops
+                        ),
+                    )
+                )
+        interval_arrivals.sort(key=arrival_sort_key)
+        removed = [
+            r for r in shared["removed_by_shard"][index] if r.timestamp < b
+        ]
+        interval_records = join_flow_records(interval_arrivals, removed)
+        interval_sigs = build_application_signatures(
+            None, shared["sig_config"], window=(a, b), records=interval_records
+        )
+    return index, runs, interval_sigs, time.perf_counter() - started
+
+
+def _stitch(
+    shard_runs: Sequence[Dict[FlowKey, List[Run]]], occurrence_gap: float
+) -> List[FlowArrival]:
+    """Merge per-shard runs into the full-window arrival stream.
+
+    A shard's head run continues the previous shard's tail run when the
+    boundary gap is within ``occurrence_gap`` — the same predicate the
+    serial extractor applies between consecutive reports, so every gap
+    decision the serial path makes is made here exactly once too (shards
+    with no reports for a flow chain the decision across to the next
+    shard that has some).
+    """
+    merged: Dict[FlowKey, List[Run]] = {}
+    for runs in shard_runs:
+        for flow, flow_runs in runs.items():
+            existing = merged.get(flow)
+            if existing is None:
+                merged[flow] = flow_runs
+                continue
+            head = flow_runs[0]
+            tail = existing[-1]
+            if not splits_occurrence(
+                tail[-1].packet_in_at, head[0].packet_in_at, occurrence_gap
+            ):
+                tail.extend(head)
+                existing.extend(flow_runs[1:])
+            else:
+                existing.extend(flow_runs)
+    arrivals = [
+        FlowArrival(flow=flow, time=hops[0].packet_in_at, hops=tuple(hops))
+        for flow, flow_runs in merged.items()
+        for hops in flow_runs
+    ]
+    arrivals.sort(key=arrival_sort_key)
+    return arrivals
+
+
+def parallel_model(
+    flowdiff: Any,
+    log: ControllerLog,
+    window: Tuple[float, float],
+    assess: bool,
+    n_shards: Optional[int] = None,
+    use_processes: Optional[bool] = None,
+) -> Optional[BehaviorModel]:
+    """Build a behavior model via the sharded pipeline, or ``None``.
+
+    Returns ``None`` when the log cannot be sharded exactly (see module
+    docstring) or is degenerate — the caller then runs the serial path.
+
+    Args:
+        flowdiff: the owning :class:`~repro.core.flowdiff.FlowDiff`
+            (supplies config, tracer, metrics).
+        log: the controller capture.
+        window: the model window (already defaulted by the caller).
+        assess: whether stability assessment was requested.
+        n_shards: override the shard count (tests use this to force
+            boundary splits); default aligns with the stability intervals
+            when possible, else :func:`default_shard_count`.
+        use_processes: force the pool on/off; default uses processes only
+            when more than one worker can actually run in parallel.
+    """
+    global _SHARED
+    config = flowdiff.config
+    tracer = flowdiff.tracer
+    metrics = flowdiff.metrics
+    span_start, span_end = log.time_span
+    if span_end <= span_start:
+        return None
+
+    parts = config.stability_parts if (assess and config.stability_parts >= 2) else 0
+    aligned = parts >= 2 and tuple(window) == (span_start, span_end)
+    if n_shards is None:
+        n = parts if aligned else default_shard_count(config.jobs)
+    else:
+        n = max(1, n_shards)
+        aligned = aligned and n == parts
+    bounds = split_intervals(span_start, span_end, n)
+
+    with tracer.span("shard-plan", shards=n):
+        fallback_reason: Optional[str] = None
+        mods_by_reply: Dict[int, FlowMod] = {}
+        pins_by_shard: List[List[PacketIn]] = [[] for _ in range(n)]
+        removed_by_shard: List[List[FlowRemoved]] = [[] for _ in range(n)]
+        removed_all: List[FlowRemoved] = []
+        port_down: List[Tuple[float, str, int]] = []
+        uppers = [b for _, b in bounds]
+        idx = 0
+        for msg in log:
+            kind = type(msg)
+            if kind is PacketIn or kind is FlowRemoved:
+                ts = msg.timestamp
+                while idx < n - 1 and ts >= uppers[idx]:
+                    idx += 1
+                if kind is PacketIn:
+                    pins_by_shard[idx].append(msg)
+                else:
+                    removed_all.append(msg)
+                    removed_by_shard[idx].append(msg)
+            elif kind is FlowMod:
+                reply_id = msg.in_reply_to
+                if reply_id is None:
+                    fallback_reason = "flowmod_without_reply_id"
+                    break
+                if reply_id in mods_by_reply:
+                    fallback_reason = "duplicate_flowmod_reply_id"
+                    break
+                mods_by_reply[reply_id] = msg
+            elif kind is PortStatus and not msg.live:
+                port_down.append((msg.timestamp, msg.dpid, msg.port))
+
+    if fallback_reason is not None:
+        metrics.counter(
+            "flowdiff_parallel_fallback_total", reason=fallback_reason
+        ).inc()
+        return None
+
+    workers = _effective_workers(config.jobs, n)
+    if use_processes is None:
+        use_processes = workers > 1
+    use_processes = use_processes and _fork_available()
+
+    shared: Dict[str, Any] = {
+        "pins_by_shard": pins_by_shard,
+        "removed_by_shard": removed_by_shard,
+        "mods_by_reply": mods_by_reply,
+        "bounds": bounds,
+        "occurrence_gap": config.signature.occurrence_gap,
+        "sig_config": config.signature,
+        "build_interval_sigs": aligned,
+    }
+    shard_runs: List[Optional[Dict[FlowKey, List[Run]]]] = [None] * n
+    interval_sigs: List[Optional[Dict[str, ApplicationSignature]]] = [None] * n
+    m_shard_seconds = metrics.histogram("flowdiff_shard_seconds")
+    with tracer.span("shard-extract", shards=n, workers=workers if use_processes else 1):
+        _SHARED = shared
+        try:
+            if use_processes:
+                # Fork inherits the plan copy-on-write; workers return
+                # compact runs + signatures rather than re-pickling input.
+                import multiprocessing
+
+                ctx = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                    results = list(pool.map(_extract_shard, range(n)))
+            else:
+                results = [_extract_shard(i) for i in range(n)]
+        finally:
+            _SHARED = None
+        for index, runs, sigs, took in results:
+            shard_runs[index] = runs
+            interval_sigs[index] = sigs
+            m_shard_seconds.observe(took)
+    metrics.counter("flowdiff_parallel_shards_total").inc(n)
+
+    merge_started = time.perf_counter()
+    with tracer.span("stitch"):
+        arrivals = _stitch(
+            [runs for runs in shard_runs if runs is not None],
+            config.signature.occurrence_gap,
+        )
+    with tracer.span("join"):
+        records = join_flow_records(arrivals, removed_all)
+    with tracer.span("app-signature"):
+        app_sigs = build_application_signatures(
+            log, config.signature, window=window, records=records
+        )
+    with tracer.span("infra-signature"):
+        infra = build_infrastructure_signature(
+            [r.arrival for r in records], port_down_events=port_down
+        )
+    stability: Dict[Any, bool] = {}
+    if parts >= 2:
+        with tracer.span("stability"):
+            stability = assess_stability(
+                log,
+                config.signature,
+                parts=parts,
+                thresholds=config.stability,
+                window=window,
+                full=app_sigs,
+                per_interval=list(interval_sigs) if aligned else None,  # type: ignore[arg-type]
+            )
+    metrics.histogram("flowdiff_merge_seconds").observe(
+        time.perf_counter() - merge_started
+    )
+    return BehaviorModel(
+        app_signatures=app_sigs,
+        infrastructure=infra,
+        window=tuple(window),
+        stability=stability,
+    )

@@ -14,8 +14,11 @@ sample-level CDFs; keep the log too if you need those.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import IO, Any, Dict, List, Tuple
+import os
+import warnings
+from typing import IO, Any, Dict, List, Optional, Tuple
 
 from repro.core.groups import ApplicationGroup
 from repro.core.model import BehaviorModel
@@ -34,6 +37,22 @@ from repro.core.signatures.infrastructure import (
 from repro.core.signatures.interaction import ComponentInteraction
 
 FORMAT_VERSION = 1
+
+
+class ModelLoadError(ValueError):
+    """A persisted model could not be decoded.
+
+    Raised (instead of the opaque ``KeyError``/``TypeError`` the raw
+    decoders would surface) when a model file is truncated, corrupt, or
+    written by an incompatible format version. ``path`` names the
+    offending file when the model came from disk.
+    """
+
+    def __init__(self, reason: str, path: Optional[str] = None) -> None:
+        self.reason = reason
+        self.path = path
+        where = f"{path}: " if path else ""
+        super().__init__(f"{where}{reason}")
 
 
 # ----------------------------------------------------------------------
@@ -267,39 +286,251 @@ def _decode_infrastructure(data: Dict[str, Any]) -> InfrastructureSignature:
     )
 
 
-def model_from_dict(data: Dict[str, Any]) -> BehaviorModel:
+def model_from_dict(data: Dict[str, Any], source: Optional[str] = None) -> BehaviorModel:
     """Decode a behavior model.
 
+    The payload is validated up front — wrong top-level shape, missing
+    sections, or a version skew raise a :class:`ModelLoadError` naming
+    ``source`` (the file the dict came from, when known) instead of an
+    opaque ``KeyError``/``TypeError`` from deep inside the decoders.
+
     Raises:
-        ValueError: on an unsupported format version.
+        ModelLoadError: on any malformed or version-skewed payload.
     """
+    if not isinstance(data, dict):
+        raise ModelLoadError(
+            f"model payload must be a JSON object, got {type(data).__name__}",
+            source,
+        )
     version = data.get("version")
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise ModelLoadError(
             f"unsupported model format version {version!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected {FORMAT_VERSION})",
+            source,
         )
-    return BehaviorModel(
-        app_signatures={
-            key: _decode_signature(sig)
-            for key, sig in data["app_signatures"].items()
-        },
-        infrastructure=_decode_infrastructure(data["infrastructure"]),
-        window=tuple(data["window"]),
-        stability={
-            (key, SignatureKind(kind)): verdict
-            for key, kind, verdict in data.get("stability", [])
-        },
-    )
+    for section, kind in (
+        ("window", list),
+        ("app_signatures", dict),
+        ("infrastructure", dict),
+    ):
+        if section not in data:
+            raise ModelLoadError(f"missing required section {section!r}", source)
+        if not isinstance(data[section], kind):
+            raise ModelLoadError(
+                f"section {section!r} must be a {kind.__name__}, "
+                f"got {type(data[section]).__name__}",
+                source,
+            )
+    if len(data["window"]) != 2:
+        raise ModelLoadError(
+            f"window must have 2 bounds, got {len(data['window'])}", source
+        )
+    try:
+        return BehaviorModel(
+            app_signatures={
+                key: _decode_signature(sig)
+                for key, sig in data["app_signatures"].items()
+            },
+            infrastructure=_decode_infrastructure(data["infrastructure"]),
+            window=tuple(data["window"]),
+            stability={
+                (key, SignatureKind(kind)): verdict
+                for key, kind, verdict in data.get("stability", [])
+            },
+        )
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        if isinstance(exc, ModelLoadError):
+            raise
+        raise ModelLoadError(
+            f"truncated or corrupt model payload ({type(exc).__name__}: {exc})",
+            source,
+        ) from exc
 
 
 def save_model(model: BehaviorModel, path: str) -> None:
     """Write a behavior model to a JSON file."""
-    with open(path, "w") as fh:
+    with open(path, "w", encoding="utf-8") as fh:
         json.dump(model_to_dict(model), fh)
 
 
 def load_model(path: str) -> BehaviorModel:
-    """Read a behavior model from a JSON file."""
-    with open(path) as fh:
-        return model_from_dict(json.load(fh))
+    """Read a behavior model from a JSON file.
+
+    Raises:
+        ModelLoadError: when the file is not valid JSON or does not
+            decode to a supported model payload; the error names ``path``.
+        OSError: when the file cannot be read at all.
+    """
+    with open(path, encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ModelLoadError(f"invalid JSON ({exc})", path) from exc
+    return model_from_dict(data, source=path)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed model cache
+# ----------------------------------------------------------------------
+
+
+def log_fingerprint(log) -> str:
+    """SHA-256 fingerprint of a log's content.
+
+    Logs loaded via :func:`~repro.openflow.serialize.read_log` carry the
+    capture file's byte hash; for in-memory logs the canonical JSON
+    encoding of every message is hashed (and cached on the log until it
+    grows). The two schemes differ for equal logs — fingerprints are
+    only compared with fingerprints produced the same way, which holds
+    within any one workflow.
+    """
+    cached = log.cached_content_digest()
+    if cached is not None:
+        return cached
+    from repro.openflow.serialize import message_to_json
+
+    digest = hashlib.sha256()
+    for msg in log:
+        digest.update(
+            json.dumps(message_to_json(msg), sort_keys=True).encode("utf-8")
+        )
+        digest.update(b"\n")
+    out = digest.hexdigest()
+    log.set_content_digest(out)
+    return out
+
+
+def config_fingerprint(config) -> str:
+    """SHA-256 fingerprint of a config's *model-relevant* fields.
+
+    Only knobs that change the produced model participate: the signature
+    construction parameters, the stability thresholds, and the interval
+    count. Execution knobs (``jobs``, ``cache_dir``) and diff-phase knobs
+    (compare thresholds, task explanations) are deliberately excluded —
+    changing them must not invalidate cached models.
+    """
+    sig = config.signature
+    st = config.stability
+    payload = {
+        "signature": {
+            "epoch": sig.epoch,
+            "dd_window": sig.dd_window,
+            "dd_bin_width": sig.dd_bin_width,
+            "occurrence_gap": sig.occurrence_gap,
+            "special_nodes": sorted(sig.special_nodes),
+        },
+        "stability": {
+            "cg": st.cg,
+            "fs": st.fs,
+            "ci": st.ci,
+            "dd": st.dd,
+            "pc": st.pc,
+        },
+        "stability_parts": config.stability_parts,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def model_cache_key(
+    log,
+    config,
+    window: Tuple[float, float],
+    assess: bool,
+) -> str:
+    """The content-addressed cache key for one modeling request.
+
+    Combines the log content fingerprint, the model-relevant config
+    fingerprint, the requested window and assessment flag, and
+    :data:`FORMAT_VERSION` (a format bump invalidates every cached
+    model). Any change to any component yields a different key — stale
+    entries are never *read*, only left behind.
+    """
+    payload = "\n".join(
+        (
+            f"format:{FORMAT_VERSION}",
+            f"log:{log_fingerprint(log)}",
+            f"config:{config_fingerprint(config)}",
+            f"window:{window[0]!r},{window[1]!r}",
+            f"assess:{assess}",
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class _CacheEntry:
+    """One (log, config, window, assess) slot of a :class:`ModelCache`."""
+
+    def __init__(self, cache: "ModelCache", key: str) -> None:
+        self._cache = cache
+        self.key = key
+        self.path = os.path.join(cache.root, f"{key}.model.json")
+
+    def load(self) -> Optional[BehaviorModel]:
+        """The cached model, or None on a miss (including corrupt files)."""
+        cache = self._cache
+        with cache.tracer.span("model-cache-load"):
+            if not os.path.exists(self.path):
+                cache._m_miss.inc()
+                return None
+            try:
+                model = load_model(self.path)
+            except (ModelLoadError, OSError) as exc:
+                warnings.warn(
+                    f"ignoring unreadable cached model {self.path}: {exc}",
+                    stacklevel=2,
+                )
+                cache._m_miss.inc()
+                return None
+        cache._m_hit.inc()
+        return model
+
+    def store(self, model: BehaviorModel) -> None:
+        """Persist a model under this key (atomic write-then-rename)."""
+        cache = self._cache
+        with cache.tracer.span("model-cache-store"):
+            os.makedirs(cache.root, exist_ok=True)
+            tmp = f"{self.path}.tmp.{os.getpid()}"
+            try:
+                save_model(model, tmp)
+                os.replace(tmp, self.path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        cache._m_store.inc()
+
+
+class ModelCache:
+    """Content-addressed on-disk cache of behavior models.
+
+    Keyed by :func:`model_cache_key`, so ``repro diff`` against an
+    unchanged baseline skips remodeling entirely while any change to the
+    log bytes, the model-relevant config, the window, or the persistence
+    format transparently misses. Cached models round-trip through
+    :func:`model_to_dict` identically to freshly built ones (delay
+    distributions carry persisted summaries rather than raw samples, as
+    with any reloaded model).
+    """
+
+    def __init__(self, root: str, metrics=None, tracer=None) -> None:
+        from repro.obs.metrics import NOOP_REGISTRY
+        from repro.obs.tracing import NOOP_TRACER
+
+        self.root = root
+        self.metrics = metrics if metrics is not None else NOOP_REGISTRY
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self._m_hit = self.metrics.counter("flowdiff_cache_total", status="hit")
+        self._m_miss = self.metrics.counter("flowdiff_cache_total", status="miss")
+        self._m_store = self.metrics.counter("flowdiff_cache_total", status="store")
+
+    def entry(
+        self,
+        log,
+        config,
+        window: Tuple[float, float],
+        assess: bool = True,
+    ) -> _CacheEntry:
+        """The cache slot for one modeling request."""
+        return _CacheEntry(self, model_cache_key(log, config, window, assess))

@@ -70,7 +70,7 @@ def group_records(
 
 
 def build_application_signatures(
-    log: ControllerLog,
+    log: Optional[ControllerLog],
     config: Optional[SignatureConfig] = None,
     window: Optional[Tuple[float, float]] = None,
     records: Optional[Sequence[FlowRecord]] = None,
@@ -78,7 +78,10 @@ def build_application_signatures(
     """Build every application group's signature bundle from a log.
 
     Args:
-        log: the controller capture (or a window of one).
+        log: the controller capture (or a window of one). May be None
+            when both ``records`` and ``window`` are supplied — the
+            sharded pipeline builds from pre-extracted records without
+            materializing a sub-log.
         config: construction knobs; defaults are the paper's settings.
         window: explicit ``[t_start, t_end)`` bounds; defaults to the log's
             span (needed so rate/epoch series are comparable across logs of
@@ -91,10 +94,14 @@ def build_application_signatures(
     """
     config = config or SignatureConfig()
     if records is None:
+        if log is None:
+            raise ValueError("either log or records must be provided")
         records = extract_flow_records(log, config.occurrence_gap)
     arrivals = [r.arrival for r in records]
     groups = extract_groups(arrivals, config.special_nodes)
     if window is None:
+        if log is None:
+            raise ValueError("window is required when log is None")
         window = log.time_span
     t_start, t_end = window
 

@@ -44,12 +44,17 @@ class DelayDistribution:
             first.
         bin_width: histogram bin width used for peak extraction (the paper
             plots 20 ms bins).
+        events: raw ``(time, src, dst)`` arrival events, retained only by
+            partial builds (``keep_events=True``) so :meth:`merge` can
+            re-pair across part boundaries; empty on normal builds and
+            never persisted.
     """
 
     samples: Tuple[Tuple[EdgePair, Tuple[float, ...]], ...]
     first_samples: Tuple[Tuple[EdgePair, Tuple[float, ...]], ...]
     peaks: Tuple[Tuple[EdgePair, Tuple[Tuple[float, int], ...]], ...]
     bin_width: float = 0.02
+    events: Tuple[Tuple[float, str, str], ...] = ()
 
     @classmethod
     def build(
@@ -59,6 +64,7 @@ class DelayDistribution:
         bin_width: float = 0.02,
         max_pairs_per_in: int = 8,
         min_peak_count: int = 3,
+        keep_events: bool = False,
     ) -> "DelayDistribution":
         """Collect inter-flow delays at every node of a group.
 
@@ -71,13 +77,65 @@ class DelayDistribution:
                 incoming flow (bounds quadratic blowup under bursts; true
                 dependency peaks survive because they recur).
             min_peak_count: minimum bin count for a peak to register.
+            keep_events: retain the raw arrival events, making the result
+                a partial signature that :meth:`merge` can combine.
         """
+        events = tuple((a.time, a.src, a.dst) for a in arrivals)
+        return cls._from_events(
+            events, window, bin_width, max_pairs_per_in, min_peak_count, keep_events
+        )
+
+    @classmethod
+    def merge(
+        cls,
+        parts: Sequence["DelayDistribution"],
+        window: float = 1.0,
+        bin_width: float = 0.02,
+        max_pairs_per_in: int = 8,
+        min_peak_count: int = 3,
+        keep_events: bool = False,
+    ) -> "DelayDistribution":
+        """Combine partial DDs built with ``keep_events=True``.
+
+        Pairing of incoming with outgoing flows crosses slice boundaries
+        (an incoming flow near a boundary pairs with outgoing flows up to
+        ``window`` seconds into the next slice), so the merge re-runs the
+        pairing over the concatenated raw events. The internal sorting of
+        per-node event lists makes the result independent of part order;
+        the construction parameters must match the parts' builds.
+
+        Raises:
+            ValueError: if a non-empty part retained no events.
+        """
+        events: List[Tuple[float, str, str]] = []
+        for part in parts:
+            if part.samples and not part.events:
+                raise ValueError(
+                    "DelayDistribution.merge needs partials built with "
+                    "keep_events=True"
+                )
+            events.extend(part.events)
+        return cls._from_events(
+            tuple(events), window, bin_width, max_pairs_per_in, min_peak_count,
+            keep_events,
+        )
+
+    @classmethod
+    def _from_events(
+        cls,
+        events: Tuple[Tuple[float, str, str], ...],
+        window: float,
+        bin_width: float,
+        max_pairs_per_in: int,
+        min_peak_count: int,
+        keep_events: bool,
+    ) -> "DelayDistribution":
         incoming: Dict[str, List[Tuple[float, Edge]]] = {}
         outgoing: Dict[str, List[Tuple[float, Edge]]] = {}
-        for arrival in arrivals:
-            edge = (arrival.src, arrival.dst)
-            outgoing.setdefault(arrival.src, []).append((arrival.time, edge))
-            incoming.setdefault(arrival.dst, []).append((arrival.time, edge))
+        for time, src, dst in events:
+            edge = (src, dst)
+            outgoing.setdefault(src, []).append((time, edge))
+            incoming.setdefault(dst, []).append((time, edge))
 
         delays: Dict[EdgePair, List[float]] = {}
         first_delays: Dict[EdgePair, List[float]] = {}
@@ -122,6 +180,7 @@ class DelayDistribution:
             ),
             peaks=tuple(sorted(peaks.items())),
             bin_width=bin_width,
+            events=events if keep_events else (),
         )
 
     def pairs(self) -> List[EdgePair]:

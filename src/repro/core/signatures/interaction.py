@@ -49,6 +49,29 @@ class ComponentInteraction:
             )
         )
 
+    @classmethod
+    def merge(cls, parts: Sequence["ComponentInteraction"]) -> "ComponentInteraction":
+        """Combine partial CIs built over disjoint slices of one arrival
+        stream.
+
+        Integer count addition — exact and associative in any part order.
+        The slices must partition the arrivals (each flow occurrence
+        counted by exactly one part); the sharded pipeline guarantees this
+        by stitching boundary-straddling occurrences before attribution.
+        """
+        per_node: Dict[str, NodeCounts] = {}
+        for part in parts:
+            for node, items in part.counts:
+                counts = per_node.setdefault(node, {})
+                for key, value in items:
+                    counts[key] = counts.get(key, 0) + value
+        return cls(
+            counts=tuple(
+                (node, tuple(sorted(counts.items())))
+                for node, counts in sorted(per_node.items())
+            )
+        )
+
     def node_counts(self, node: str) -> NodeCounts:
         """Raw (direction, peer) -> count mapping for ``node``."""
         for n, items in self.counts:

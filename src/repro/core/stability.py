@@ -63,6 +63,8 @@ def assess_stability(
     parts: int = 3,
     thresholds: Optional[StabilityThresholds] = None,
     window: Optional[Tuple[float, float]] = None,
+    full: Optional[Dict[str, ApplicationSignature]] = None,
+    per_interval: Optional[List[Dict[str, ApplicationSignature]]] = None,
 ) -> Dict[Tuple[str, SignatureKind], bool]:
     """Per (group, kind) stability verdicts over ``parts`` sub-intervals.
 
@@ -70,8 +72,18 @@ def assess_stability(
     (absent from the result, treated as stable by the behavior model) —
     sparse data is not evidence of instability.
 
+    Args:
+        full: precomputed full-window application signatures (what
+            ``FlowDiff.model`` already built); when omitted they are
+            rebuilt here from the log.
+        per_interval: precomputed per-sub-interval signatures, one dict
+            per interval of ``split_intervals(t_start, t_end, parts)`` —
+            the sharded parallel pipeline supplies these from its shard
+            work instead of re-windowing the log ``parts`` times.
+
     Raises:
-        ValueError: if ``parts`` < 2.
+        ValueError: if ``parts`` < 2, or ``per_interval`` has the wrong
+            number of entries.
     """
     if parts < 2:
         raise ValueError(f"stability assessment needs >= 2 parts, got {parts}")
@@ -83,12 +95,19 @@ def assess_stability(
     if t_end <= t_start:
         return {}
 
-    full = build_application_signatures(log, config, window=window)
+    if full is None:
+        full = build_application_signatures(log, config, window=window)
     intervals = split_intervals(t_start, t_end, parts)
-    per_interval: List[Dict[str, ApplicationSignature]] = [
-        build_application_signatures(log.window(a, b), config, window=(a, b))
-        for a, b in intervals
-    ]
+    if per_interval is None:
+        per_interval = [
+            build_application_signatures(log.window(a, b), config, window=(a, b))
+            for a, b in intervals
+        ]
+    elif len(per_interval) != len(intervals):
+        raise ValueError(
+            f"per_interval has {len(per_interval)} entries for "
+            f"{len(intervals)} intervals"
+        )
 
     verdicts: Dict[Tuple[str, SignatureKind], bool] = {}
     for key, signature in full.items():

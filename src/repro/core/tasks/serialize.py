@@ -137,11 +137,11 @@ def library_from_dict(data: Dict[str, Any]) -> TaskLibrary:
 
 def save_library(library: TaskLibrary, path: str) -> None:
     """Write a task library to a JSON file."""
-    with open(path, "w") as fh:
+    with open(path, "w", encoding="utf-8") as fh:
         json.dump(library_to_dict(library), fh)
 
 
 def load_library(path: str) -> TaskLibrary:
     """Read a task library from a JSON file."""
-    with open(path) as fh:
+    with open(path, encoding="utf-8") as fh:
         return library_from_dict(json.load(fh))

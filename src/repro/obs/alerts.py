@@ -444,7 +444,7 @@ def write_alerts_jsonl(
     """Write alerts as one JSON object per line; returns the line count."""
     rows = [a.to_dict() for a in alerts]
     if isinstance(destination, str):
-        with open(destination, "w") as fh:
+        with open(destination, "w", encoding="utf-8") as fh:
             for row in rows:
                 fh.write(json.dumps(row) + "\n")
     else:
@@ -456,7 +456,7 @@ def write_alerts_jsonl(
 def read_alerts_jsonl(source: Union[str, TextIO]) -> List[Alert]:
     """Parse a JSONL alert stream back into :class:`Alert` records."""
     if isinstance(source, str):
-        with open(source) as fh:
+        with open(source, encoding="utf-8") as fh:
             text = fh.read()
     else:
         text = source.read()

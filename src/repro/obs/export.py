@@ -96,7 +96,7 @@ def write_jsonl(
         events.extend(iter_span_events(tracer))
 
     if isinstance(destination, str):
-        with open(destination, "w") as fh:
+        with open(destination, "w", encoding="utf-8") as fh:
             for event in events:
                 fh.write(json.dumps(event) + "\n")
     else:
@@ -112,7 +112,7 @@ def read_jsonl(source: Union[str, TextIO]) -> List[Dict[str, Any]]:
     that post-processes ``--metrics-out`` files. Blank lines are skipped.
     """
     if isinstance(source, str):
-        with open(source) as fh:
+        with open(source, encoding="utf-8") as fh:
             text = fh.read()
     else:
         text = source.read()

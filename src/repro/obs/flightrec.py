@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.occurrence import splits_occurrence
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.openflow.log import ControllerLog
 from repro.openflow.match import FlowKey, Match
@@ -390,7 +391,7 @@ def reconstruct(
         msgs = sorted(loose[flow], key=lambda m: m.timestamp)
         bucket: List[ControlMessage] = []
         for msg in msgs:
-            if bucket and msg.timestamp - bucket[-1].timestamp > occurrence_gap:
+            if bucket and splits_occurrence(bucket[-1].timestamp, msg.timestamp, occurrence_gap):
                 timelines.append(
                     _build_timeline(next_synthetic, bucket, synthetic=True)
                 )

@@ -35,8 +35,29 @@ class ControllerLog:
     def __init__(self, messages: Optional[Iterable[ControlMessage]] = None) -> None:
         self._messages: List[Tuple[float, int, ControlMessage]] = []
         self._seq = 0
+        self._content_digest: Optional[str] = None
+        self._digest_seq = -1
         for msg in messages or ():
             self.append(msg)
+
+    def set_content_digest(self, digest: str) -> None:
+        """Cache this log's content fingerprint (hex digest).
+
+        Set by :func:`~repro.openflow.serialize.read_log` (hash of the
+        capture file's bytes) or by
+        :func:`~repro.core.persist.log_fingerprint` (hash of the canonical
+        message stream). The cache is invalidated automatically when the
+        log grows — :meth:`cached_content_digest` compares the append
+        sequence it was recorded at.
+        """
+        self._content_digest = digest
+        self._digest_seq = self._seq
+
+    def cached_content_digest(self) -> Optional[str]:
+        """The cached content fingerprint, or None if unset/stale."""
+        if self._content_digest is not None and self._digest_seq == self._seq:
+            return self._content_digest
+        return None
 
     def append(self, message: ControlMessage) -> None:
         """Record a control message (stable-ordered by timestamp)."""

@@ -164,5 +164,5 @@ def load_ryu_log(fh: IO[str]) -> ControllerLog:
 
 def read_ryu_log(path: str) -> ControllerLog:
     """Load a Ryu JSONL capture file."""
-    with open(path) as fh:
+    with open(path, encoding="utf-8") as fh:
         return load_ryu_log(fh)

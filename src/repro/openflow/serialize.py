@@ -256,11 +256,22 @@ def load_log(fh: IO[str]) -> ControllerLog:
 
 def save_log(log: ControllerLog, path: str) -> int:
     """Write a log to ``path``; returns the message count."""
-    with open(path, "w") as fh:
+    with open(path, "w", encoding="utf-8") as fh:
         return dump_log(log, fh)
 
 
 def read_log(path: str) -> ControllerLog:
-    """Load a capture file from ``path``."""
-    with open(path) as fh:
-        return load_log(fh)
+    """Load a capture file from ``path``.
+
+    The file's byte-level SHA-256 is cached on the returned log as its
+    content digest, so model caching (:mod:`repro.core.persist`) can key
+    on log content without re-hashing the message stream.
+    """
+    import hashlib
+    import io
+
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    log = load_log(io.StringIO(raw.decode("utf-8")))
+    log.set_content_digest(hashlib.sha256(raw).hexdigest())
+    return log

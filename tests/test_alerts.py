@@ -186,6 +186,7 @@ def _monitor(log, rules=None, window=30.0):
     return diagnoser, engine
 
 
+@pytest.mark.slow
 class TestDiagnoserIntegration:
     def test_healthy_run_never_alerts(self, healthy_log):
         diagnoser, engine = _monitor(healthy_log)

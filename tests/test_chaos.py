@@ -22,6 +22,8 @@ from repro.faults import (
 )
 from repro.scenarios import three_tier_lab
 
+pytestmark = pytest.mark.slow
+
 DURATION = 20.0
 
 FAULT_FACTORIES = [

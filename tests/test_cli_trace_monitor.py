@@ -82,6 +82,7 @@ class TestTraceCommand:
         assert "0 incomplete" in capsys.readouterr().out
 
 
+@pytest.mark.slow
 class TestMonitorCommand:
     def test_healthy_capture_exits_zero(self, long_healthy_capture, tmp_path, capsys):
         out_path = str(tmp_path / "alerts.jsonl")

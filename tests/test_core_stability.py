@@ -37,6 +37,7 @@ class TestAssessStability:
         for (key, kind), stable in verdicts.items():
             assert stable, f"{kind} flagged unstable under steady workload"
 
+    @pytest.mark.slow
     def test_round_robin_ci_stable_skewed_unstable(self):
         """Section V-B1: non-linear load balancing destabilizes CI."""
         rr = assess_stability(lab_log(balancer="round_robin"))

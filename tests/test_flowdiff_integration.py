@@ -23,6 +23,8 @@ from repro.faults import (
 from repro.ops import VMMigrationTask
 from repro.scenarios import three_tier_lab
 
+pytestmark = pytest.mark.slow
+
 DURATION = 30.0
 
 

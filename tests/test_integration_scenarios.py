@@ -12,6 +12,8 @@ from repro.faults import (
 from repro.openflow.log import ControllerLog
 from repro.scenarios import three_tier_lab
 
+pytestmark = pytest.mark.slow
+
 DURATION = 30.0
 
 

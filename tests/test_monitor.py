@@ -8,6 +8,8 @@ from repro.core.monitor import SlidingDiagnoser
 from repro.faults import LoggingMisconfig
 from repro.scenarios import three_tier_lab
 
+pytestmark = pytest.mark.slow
+
 
 def long_run_log(fault_at=None, total=90.0):
     scenario = three_tier_lab(seed=3)

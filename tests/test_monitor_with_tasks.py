@@ -10,6 +10,8 @@ from repro.faults import HighCPU
 from repro.ops import VMStopTask
 from repro.scenarios import three_tier_lab
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def setting():

@@ -1,0 +1,350 @@
+"""Serial-vs-parallel modeling equivalence and signature merge laws.
+
+The sharded pipeline's contract is exactness: ``model_to_dict(serial) ==
+model_to_dict(parallel)`` for any job count, shard geometry, or log
+shape it accepts — and a clean fallback to serial for shapes it cannot
+shard without changing pairing semantics.
+"""
+
+import pytest
+
+from repro.core.events import extract_flow_records
+from repro.core.flowdiff import FlowDiff, FlowDiffConfig
+from repro.core.occurrence import splits_occurrence
+from repro.core.parallel import parallel_model
+from repro.core.persist import model_to_dict
+from repro.core.signatures.connectivity import ConnectivityGraph
+from repro.core.signatures.correlation import PartialCorrelation
+from repro.core.signatures.delay import DelayDistribution
+from repro.core.signatures.flowstats import FlowStats
+from repro.core.signatures.infrastructure import build_infrastructure_signature
+from repro.core.signatures.interaction import ComponentInteraction
+from repro.openflow.log import ControllerLog
+from repro.openflow.match import FlowKey, Match
+from repro.openflow.messages import FlowMod, PacketIn
+
+
+@pytest.fixture(scope="module")
+def lab_log():
+    from repro.scenarios import three_tier_lab
+
+    return three_tier_lab(seed=3).run(stop=12.0)
+
+
+@pytest.fixture(scope="module")
+def lab_serial_dict(lab_log):
+    model = FlowDiff(FlowDiffConfig()).model(lab_log)
+    return model_to_dict(model)
+
+
+def traversal(log, key, t0, dpids, response=0.0005, step=0.001):
+    """Append one flow traversal: PacketIn + paired FlowMod per switch."""
+    t = t0
+    for i, dpid in enumerate(dpids):
+        pin = PacketIn(
+            timestamp=t, dpid=dpid, flow=key, in_port=i + 1, buffer_id=1000 + len(log)
+        )
+        log.append(pin)
+        log.append(
+            FlowMod(
+                timestamp=t + response,
+                dpid=dpid,
+                match=Match.exact(key),
+                out_port=i + 2,
+                in_reply_to=pin.buffer_id,
+            )
+        )
+        t += step
+
+
+class TestEquivalenceOnLabScenario:
+    @pytest.mark.parametrize("jobs", [2, 8])
+    def test_jobs_match_serial(self, lab_log, lab_serial_dict, jobs):
+        parallel = FlowDiff(FlowDiffConfig(jobs=jobs)).model(lab_log)
+        assert model_to_dict(parallel) == lab_serial_dict
+
+    def test_jobs_zero_means_auto(self, lab_log, lab_serial_dict):
+        parallel = FlowDiff(FlowDiffConfig(jobs=0)).model(lab_log)
+        assert model_to_dict(parallel) == lab_serial_dict
+
+    def test_without_stability_assessment(self, lab_log):
+        serial = FlowDiff(FlowDiffConfig()).model(lab_log, assess=False)
+        parallel = FlowDiff(FlowDiffConfig(jobs=4)).model(lab_log, assess=False)
+        assert model_to_dict(parallel) == model_to_dict(serial)
+
+    def test_explicit_sub_window(self, lab_log):
+        a, b = lab_log.time_span
+        window = (a + (b - a) * 0.25, a + (b - a) * 0.75)
+        sub = lab_log.window(*window)
+        serial = FlowDiff(FlowDiffConfig()).model(sub)
+        parallel = FlowDiff(FlowDiffConfig(jobs=4)).model(sub)
+        assert model_to_dict(parallel) == model_to_dict(serial)
+
+    @pytest.mark.parametrize("n_shards", [2, 5, 7])
+    def test_forced_shard_counts(self, lab_log, lab_serial_dict, n_shards):
+        fd = FlowDiff(FlowDiffConfig(jobs=4))
+        model = parallel_model(
+            fd, lab_log, lab_log.time_span, assess=True, n_shards=n_shards
+        )
+        assert model is not None
+        assert model_to_dict(model) == lab_serial_dict
+
+    @pytest.mark.slow
+    def test_forced_process_pool(self, lab_log, lab_serial_dict):
+        fd = FlowDiff(FlowDiffConfig(jobs=4))
+        model = parallel_model(
+            fd, lab_log, lab_log.time_span, assess=True, use_processes=True
+        )
+        assert model is not None
+        assert model_to_dict(model) == lab_serial_dict
+
+
+class TestShardBoundaries:
+    def test_run_straddling_shard_boundary_not_double_counted(self):
+        # One flow's reports straddle the 2-shard midpoint (t=5): the
+        # head run of shard 2 must be stitched into shard 1's tail run.
+        log = ControllerLog()
+        key = FlowKey("a", "b", 1000, 80)
+        traversal(log, key, 0.0, ["sw1"])
+        traversal(log, key, 4.9995, ["sw1", "sw2", "sw3"], step=0.4)
+        traversal(log, FlowKey("c", "d", 1001, 80), 10.0, ["sw9"])
+        serial = FlowDiff(FlowDiffConfig()).model(log, assess=False)
+        fd = FlowDiff(FlowDiffConfig(jobs=2))
+        model = parallel_model(fd, log, log.time_span, assess=False, n_shards=2)
+        assert model is not None
+        assert model_to_dict(model) == model_to_dict(serial)
+
+    def test_empty_middle_shards_chain_gap_decisions(self):
+        # Activity only near both ends: with 4 shards the middle two are
+        # empty, and the same-flow gap decision must chain across them.
+        log = ControllerLog()
+        quiet = FlowKey("a", "b", 1000, 80)
+        for gap_key, restart in ((quiet, 9.0), (FlowKey("c", "d", 1001, 80), 9.5)):
+            traversal(log, gap_key, 0.5, ["sw1", "sw2"])
+            traversal(log, gap_key, restart, ["sw1", "sw2"])
+        serial = FlowDiff(FlowDiffConfig()).model(log)
+        fd = FlowDiff(FlowDiffConfig(jobs=4))
+        model = parallel_model(fd, log, log.time_span, assess=True, n_shards=4)
+        assert model is not None
+        assert model_to_dict(model) == model_to_dict(serial)
+
+    def test_more_shards_than_content(self):
+        log = ControllerLog()
+        traversal(log, FlowKey("a", "b", 1000, 80), 1.0, ["sw1"])
+        traversal(log, FlowKey("c", "d", 1001, 80), 2.0, ["sw2"])
+        serial = FlowDiff(FlowDiffConfig()).model(log, assess=False)
+        fd = FlowDiff(FlowDiffConfig(jobs=2))
+        model = parallel_model(fd, log, log.time_span, assess=False, n_shards=16)
+        assert model is not None
+        assert model_to_dict(model) == model_to_dict(serial)
+
+
+class TestSerialFallback:
+    def test_mod_without_reply_id_falls_back(self):
+        log = ControllerLog()
+        key = FlowKey("a", "b", 1000, 80)
+        pin = PacketIn(timestamp=1.0, dpid="sw1", flow=key, in_port=1, buffer_id=7)
+        log.append(pin)
+        log.append(
+            FlowMod(
+                timestamp=1.001,
+                dpid="sw1",
+                match=Match.exact(key),
+                out_port=2,
+                in_reply_to=None,
+            )
+        )
+        traversal(log, FlowKey("c", "d", 1001, 80), 5.0, ["sw2"])
+        fd = FlowDiff(FlowDiffConfig(jobs=4))
+        assert parallel_model(fd, log, log.time_span, assess=False) is None
+        # The facade still produces the serial result transparently.
+        serial = FlowDiff(FlowDiffConfig()).model(log, assess=False)
+        assert model_to_dict(fd.model(log, assess=False)) == model_to_dict(serial)
+
+    def test_duplicate_reply_ids_fall_back(self):
+        log = ControllerLog()
+        key = FlowKey("a", "b", 1000, 80)
+        for ts, dpid in ((1.0, "sw1"), (1.5, "sw2")):
+            log.append(
+                PacketIn(timestamp=ts, dpid=dpid, flow=key, in_port=1, buffer_id=7)
+            )
+            log.append(
+                FlowMod(
+                    timestamp=ts + 0.001,
+                    dpid=dpid,
+                    match=Match.exact(key),
+                    out_port=2,
+                    in_reply_to=7,
+                )
+            )
+        fd = FlowDiff(FlowDiffConfig(jobs=4))
+        assert parallel_model(fd, log, log.time_span, assess=False) is None
+
+    def test_degenerate_single_timestamp_log(self):
+        log = ControllerLog()
+        log.append(
+            PacketIn(
+                timestamp=1.0,
+                dpid="sw1",
+                flow=FlowKey("a", "b", 1000, 80),
+                in_port=1,
+                buffer_id=1,
+            )
+        )
+        fd = FlowDiff(FlowDiffConfig(jobs=4))
+        assert parallel_model(fd, log, log.time_span, assess=False) is None
+        fd.model(log, assess=False)  # facade falls back without error
+
+
+def _contiguous_thirds(seq):
+    n = len(seq)
+    return [seq[: n // 3], seq[n // 3 : 2 * n // 3], seq[2 * n // 3 :]]
+
+
+class TestSignatureMergeLaws:
+    """merge(partials) == build(whole), per signature class."""
+
+    @pytest.fixture(scope="class")
+    def records(self, lab_log):
+        records = extract_flow_records(lab_log, 1.0)
+        assert len(records) > 30
+        return records
+
+    @pytest.fixture(scope="class")
+    def arrivals(self, records):
+        return [r.arrival for r in records]
+
+    @pytest.fixture(scope="class")
+    def span(self, lab_log):
+        return lab_log.time_span
+
+    def test_connectivity_merge(self, arrivals):
+        full = ConnectivityGraph.build(arrivals)
+        parts = [ConnectivityGraph.build(p) for p in _contiguous_thirds(arrivals)]
+        assert ConnectivityGraph.merge(parts) == full
+
+    def test_interaction_merge(self, arrivals):
+        full = ComponentInteraction.build(arrivals)
+        parts = [ComponentInteraction.build(p) for p in _contiguous_thirds(arrivals)]
+        assert ComponentInteraction.merge(parts) == full
+
+    def test_flowstats_merge(self, records, span):
+        t0, t1 = span
+        full = FlowStats.build(records, t0, t1)
+        parts = [
+            FlowStats.build(p, t0, t1, keep_rows=True)
+            for p in _contiguous_thirds(records)
+        ]
+        assert FlowStats.merge(parts, t0, t1) == full
+
+    def test_flowstats_merge_requires_rows(self, records, span):
+        t0, t1 = span
+        parts = [FlowStats.build(p, t0, t1) for p in _contiguous_thirds(records)]
+        with pytest.raises(ValueError, match="keep_rows"):
+            FlowStats.merge(parts, t0, t1)
+
+    def test_delay_merge(self, arrivals):
+        full = DelayDistribution.build(arrivals)
+        parts = [
+            DelayDistribution.build(p, keep_events=True)
+            for p in _contiguous_thirds(arrivals)
+        ]
+        assert DelayDistribution.merge(parts) == full
+
+    def test_delay_merge_requires_events(self, arrivals):
+        parts = [DelayDistribution.build(p) for p in _contiguous_thirds(arrivals)]
+        if not any(p.samples for p in parts):
+            pytest.skip("scenario produced no delay samples")
+        with pytest.raises(ValueError, match="keep_events"):
+            DelayDistribution.merge(parts)
+
+    def test_correlation_merge(self, arrivals, span):
+        t0, t1 = span
+        full = PartialCorrelation.build(arrivals, t0, t1)
+        parts = [
+            PartialCorrelation.build(p, t0, t1, keep_times=True)
+            for p in _contiguous_thirds(arrivals)
+        ]
+        assert PartialCorrelation.merge(parts, t0, t1) == full
+
+    def test_infrastructure_merge(self, arrivals):
+        full = build_infrastructure_signature(arrivals, port_down_events=((1.0, "sw1", 3),))
+        thirds = _contiguous_thirds(arrivals)
+        parts = [
+            build_infrastructure_signature(
+                p, port_down_events=((1.0, "sw1", 3),) if i == 0 else (),
+                keep_partials=True,
+            )
+            for i, p in enumerate(thirds)
+        ]
+        merged = type(full).merge(parts)
+        assert merged == full
+
+    def test_merge_is_associative(self, arrivals, records, span):
+        t0, t1 = span
+        parts = [
+            DelayDistribution.build(p, keep_events=True)
+            for p in _contiguous_thirds(arrivals)
+        ]
+        left = DelayDistribution.merge(
+            [DelayDistribution.merge(parts[:2], keep_events=True), parts[2]]
+        )
+        assert left == DelayDistribution.merge(parts)
+        fs_parts = [
+            FlowStats.build(p, t0, t1, keep_rows=True)
+            for p in _contiguous_thirds(records)
+        ]
+        fs_left = FlowStats.merge(
+            [FlowStats.merge(fs_parts[:2], t0, t1, keep_rows=True), fs_parts[2]],
+            t0,
+            t1,
+        )
+        assert fs_left == FlowStats.merge(fs_parts, t0, t1)
+
+
+class TestOccurrenceBoundary:
+    """The shared gap predicate and both of its call sites pin the
+    boundary: a report at exactly ``previous + gap`` continues the same
+    occurrence; only strictly beyond starts a new one."""
+
+    GAP = 1.0
+    EPS = 1e-6
+
+    def test_predicate_at_boundary(self):
+        assert not splits_occurrence(10.0, 10.0 + self.GAP, self.GAP)
+        assert not splits_occurrence(10.0, 10.0 + self.GAP - self.EPS, self.GAP)
+        assert splits_occurrence(10.0, 10.0 + self.GAP + self.EPS, self.GAP)
+
+    @pytest.mark.parametrize(
+        "offset,expected_arrivals",
+        [(GAP, 1), (GAP - EPS, 1), (GAP + EPS, 2)],
+    )
+    def test_extraction_boundary(self, offset, expected_arrivals):
+        from repro.core.events import extract_flow_arrivals
+
+        log = ControllerLog()
+        key = FlowKey("a", "b", 1000, 80)
+        for i, ts in enumerate((10.0, 10.0 + offset)):
+            log.append(
+                PacketIn(timestamp=ts, dpid="sw1", flow=key, in_port=1, buffer_id=i)
+            )
+        arrivals = extract_flow_arrivals(log, occurrence_gap=self.GAP)
+        assert len(arrivals) == expected_arrivals
+
+    @pytest.mark.parametrize(
+        "offset,expected_timelines",
+        [(GAP, 1), (GAP - EPS, 1), (GAP + EPS, 2)],
+    )
+    def test_flight_recorder_boundary(self, offset, expected_timelines):
+        from repro.obs.flightrec import FlightRecorder
+
+        log = ControllerLog()
+        key = FlowKey("a", "b", 1000, 80)
+        for ts in (10.0, 10.0 + offset):
+            # No corr_id: forces the recorder's heuristic occurrence
+            # grouping, the second user of the shared predicate.
+            log.append(
+                PacketIn(timestamp=ts, dpid="sw1", flow=key, in_port=1, buffer_id=0)
+            )
+        recorder = FlightRecorder.from_log(log, occurrence_gap=self.GAP)
+        assert len(recorder.timelines) == expected_timelines
