@@ -72,7 +72,7 @@ def test_localization_accuracy(benchmark, record_table):
         lines.append(f"{name:<12} {detected:>7}/{n} {top1:>4}/{n} {top3:>4}/{n}")
     record_table("localization_accuracy", lines)
 
-    for name, detected, top1, top3 in rows:
+    for name, detected, _top1, top3 in rows:
         assert detected == n, f"{name}: missed detections"
         assert top3 >= 0.8 * n, f"{name}: top-3 localization below 80%"
     total_top1 = sum(top1 for _, _, top1, _ in rows)

@@ -41,7 +41,7 @@ def ascii_cdf(
         x_max = x_min + 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for idx, (label, cdf) in enumerate(non_empty.items()):
+    for idx, (_label, cdf) in enumerate(non_empty.items()):
         glyph = CURVE_GLYPHS[idx % len(CURVE_GLYPHS)]
         for col in range(width):
             x = x_min + (x_max - x_min) * col / (width - 1)

@@ -17,6 +17,10 @@ Usage (also via ``python -m repro``):
 * ``repro monitor capture.jsonl --alerts-out alerts.jsonl`` — replay a
   capture through the sliding diagnoser + alert engine and export the
   fired alerts.
+* ``repro lint`` — flowlint, the domain-invariant static analysis pass
+  (sim-clock discipline, determinism, schema drift, signature contract,
+  fork safety, metric hygiene); ``--update-schemas`` regenerates the
+  serialized-schema manifest after a ``FORMAT_VERSION`` bump.
 
 ``simulate``, ``model``, and ``diff`` accept ``--profile`` (print a
 per-phase timing table) and ``--metrics-out FILE.jsonl`` (export the full
@@ -32,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 from typing import List, Optional, Tuple
 
@@ -278,6 +283,28 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 1 if engine.alerts else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import repro
+    import repro.qa as qa
+
+    paths = args.paths or [os.path.dirname(repro.__file__)]
+    project = qa.Project.load(paths)
+    if args.update_schemas:
+        schemas = qa.update_manifest(project)
+        print(
+            f"wrote {len(schemas)} schema(s) to the manifest; "
+            f"review and commit the change"
+        )
+        return 0
+    engine = qa.LintEngine(qa.default_rules())
+    result = engine.run(project)
+    if args.format == "json":
+        sys.stdout.write(qa.render_json(result))
+    else:
+        sys.stdout.write(qa.render_text(result))
+    return 0 if result.ok else 1
+
+
 def _config(args: argparse.Namespace) -> FlowDiffConfig:
     special = tuple(args.special_nodes.split(",")) if args.special_nodes else ()
     return FlowDiffConfig(
@@ -493,6 +520,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_flags(mon)
     _add_obs_flags(mon)
     mon.set_defaults(fn=_cmd_monitor)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run flowlint, the domain-invariant static analysis pass",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro "
+        "package source)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format: human-readable text or the CI JSON artifact",
+    )
+    lint.add_argument(
+        "--update-schemas",
+        action="store_true",
+        help="regenerate the serialized-schema manifest instead of linting "
+        "(run AFTER bumping the owning FORMAT_VERSION)",
+    )
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

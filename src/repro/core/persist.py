@@ -18,23 +18,18 @@ import hashlib
 import json
 import os
 import warnings
-from typing import IO, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
-from repro.core.groups import ApplicationGroup
 from repro.core.model import BehaviorModel
 from repro.core.signatures.application import ApplicationSignature
 from repro.core.signatures.base import SignatureKind
-from repro.core.signatures.connectivity import ConnectivityGraph
-from repro.core.signatures.correlation import PartialCorrelation
-from repro.core.signatures.delay import DelayDistribution
-from repro.core.signatures.flowstats import FlowStats, RateSummary
-from repro.core.signatures.infrastructure import (
-    ControllerResponseTime,
-    InfrastructureSignature,
-    InterSwitchLatency,
-    PhysicalTopology,
-)
-from repro.core.signatures.interaction import ComponentInteraction
+from repro.core.signatures.infrastructure import InfrastructureSignature
+
+if TYPE_CHECKING:
+    from repro.core.flowdiff import FlowDiffConfig
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Tracer
+    from repro.openflow.log import ControllerLog
 
 FORMAT_VERSION = 1
 
@@ -56,100 +51,13 @@ class ModelLoadError(ValueError):
 
 
 # ----------------------------------------------------------------------
-# Encoding
+# Encoding / decoding
+#
+# The per-signature JSON formats are owned by the signature classes
+# themselves (``to_dict``/``from_dict`` — the contract every
+# :class:`~repro.core.signatures.base.Signature` subclass implements);
+# this module only frames them with version/window/stability metadata.
 # ----------------------------------------------------------------------
-
-
-def _edge(e: Tuple[str, str]) -> List[str]:
-    return [e[0], e[1]]
-
-
-def _pair(p) -> List[List[str]]:
-    return [_edge(p[0]), _edge(p[1])]
-
-
-def _encode_signature(sig: ApplicationSignature) -> Dict[str, Any]:
-    return {
-        "group": {
-            "members": sorted(sig.group.members),
-            "services": sorted(sig.group.services),
-        },
-        "cg": {
-            "edges": [_edge(e) for e in sorted(sig.cg.edges)],
-            "first_seen": [[_edge(e), t] for e, t in sig.cg.first_seen],
-        },
-        "fs": {
-            "flow_count": sig.fs.flow_count,
-            "byte_mean": sig.fs.byte_mean,
-            "byte_std": sig.fs.byte_std,
-            "duration_mean": sig.fs.duration_mean,
-            "duration_std": sig.fs.duration_std,
-            "packet_mean": sig.fs.packet_mean,
-            "flows_per_sec": [
-                sig.fs.flows_per_sec.maximum,
-                sig.fs.flows_per_sec.minimum,
-                sig.fs.flows_per_sec.average,
-            ],
-            "bytes_per_sec": [
-                sig.fs.bytes_per_sec.maximum,
-                sig.fs.bytes_per_sec.minimum,
-                sig.fs.bytes_per_sec.average,
-            ],
-            "per_edge_bytes": [[_edge(e), b] for e, b in sig.fs.per_edge_bytes],
-        },
-        "ci": {
-            "counts": [
-                [node, [[list(k), v] for k, v in items]]
-                for node, items in sig.ci.counts
-            ]
-        },
-        "dd": {
-            "bin_width": sig.dd.bin_width,
-            # Persist summaries, not raw samples: peaks plus the
-            # first-pairing mean/SE/count per pair.
-            "pairs": [
-                {
-                    "pair": _pair(pair),
-                    "peaks": [list(p) for p in dict(sig.dd.peaks).get(pair, ())],
-                    "mean": sig.dd.mean_delay(pair),
-                    "stderr": _finite(sig.dd.mean_standard_error(pair)),
-                    "n": len(sig.dd.samples_for(pair)),
-                    "n_first": len(sig.dd.first_samples_for(pair)),
-                }
-                for pair in sig.dd.pairs()
-            ],
-        },
-        "pc": {
-            "epoch": sig.pc.epoch,
-            "correlations": [[_pair(p), r] for p, r in sig.pc.correlations],
-        },
-    }
-
-
-def _finite(value: float) -> float:
-    return value if value != float("inf") else -1.0
-
-
-def _encode_infrastructure(infra: InfrastructureSignature) -> Dict[str, Any]:
-    return {
-        "pt": {
-            "links": [_edge(l) for l in sorted(infra.pt.switch_links)],
-            "attachment": [list(a) for a in infra.pt.host_attachment],
-            "observations": [list(o) for o in infra.pt.switch_observations],
-        },
-        "isl": {
-            "stats": [
-                [_edge(pair), [mean, std, n]]
-                for pair, (mean, std, n) in infra.isl.stats
-            ]
-        },
-        "crt": {
-            "mean": infra.crt.mean,
-            "std": infra.crt.std,
-            "count": infra.crt.count,
-        },
-        "port_down_events": [list(e) for e in infra.port_down_events],
-    }
 
 
 def model_to_dict(model: BehaviorModel) -> Dict[str, Any]:
@@ -162,128 +70,10 @@ def model_to_dict(model: BehaviorModel) -> Dict[str, Any]:
             for (key, kind), verdict in sorted(model.stability.items())
         ],
         "app_signatures": {
-            key: _encode_signature(sig)
-            for key, sig in model.app_signatures.items()
+            key: sig.to_dict() for key, sig in model.app_signatures.items()
         },
-        "infrastructure": _encode_infrastructure(model.infrastructure),
+        "infrastructure": model.infrastructure.to_dict(),
     }
-
-
-# ----------------------------------------------------------------------
-# Decoding
-# ----------------------------------------------------------------------
-
-
-class _PersistedDelayDistribution(DelayDistribution):
-    """A DelayDistribution reloaded from summaries (no raw samples).
-
-    Overrides the sample-derived accessors to return the persisted
-    mean/SE; ``samples``/``first_samples`` hold placeholder tuples sized
-    to the original sample counts so length-based guards (e.g. the
-    structure-collapse detector's minimum-sample check) behave the same.
-    """
-
-    def __init__(self, pairs: List[Dict[str, Any]], bin_width: float) -> None:
-        samples = []
-        first_samples = []
-        peaks = []
-        self._means = {}
-        self._stderrs = {}
-        for entry in pairs:
-            pair = _pair_from(entry["pair"])
-            samples.append((pair, (0.0,) * entry["n"]))
-            first_samples.append((pair, (0.0,) * entry["n_first"]))
-            peaks.append((pair, tuple(tuple(p) for p in entry["peaks"])))
-            self._means[pair] = entry["mean"]
-            stderr = entry["stderr"]
-            self._stderrs[pair] = float("inf") if stderr < 0 else stderr
-        object.__setattr__(self, "samples", tuple(samples))
-        object.__setattr__(self, "first_samples", tuple(first_samples))
-        object.__setattr__(self, "peaks", tuple(peaks))
-        object.__setattr__(self, "bin_width", bin_width)
-
-    def mean_delay(self, pair):  # noqa: D102 - inherited semantics
-        return self._means.get(pair, -1.0)
-
-    def mean_standard_error(self, pair):  # noqa: D102 - inherited semantics
-        return self._stderrs.get(pair, float("inf"))
-
-    def delay_cdf(self, pair):  # noqa: D102 - inherited semantics
-        raise NotImplementedError(
-            "raw delay samples are not persisted; rebuild from the log"
-        )
-
-
-def _pair_from(data: List[List[str]]):
-    return (tuple(data[0]), tuple(data[1]))
-
-
-def _decode_signature(data: Dict[str, Any]) -> ApplicationSignature:
-    group = ApplicationGroup(
-        members=frozenset(data["group"]["members"]),
-        services=frozenset(data["group"]["services"]),
-    )
-    cg = ConnectivityGraph(
-        edges=frozenset(tuple(e) for e in data["cg"]["edges"]),
-        first_seen=tuple((tuple(e), t) for e, t in data["cg"]["first_seen"]),
-    )
-    fs_data = data["fs"]
-    fs = FlowStats(
-        flow_count=fs_data["flow_count"],
-        byte_mean=fs_data["byte_mean"],
-        byte_std=fs_data["byte_std"],
-        duration_mean=fs_data["duration_mean"],
-        duration_std=fs_data["duration_std"],
-        packet_mean=fs_data["packet_mean"],
-        flows_per_sec=RateSummary(*fs_data["flows_per_sec"]),
-        bytes_per_sec=RateSummary(*fs_data["bytes_per_sec"]),
-        per_edge_bytes=tuple(
-            (tuple(e), b) for e, b in fs_data["per_edge_bytes"]
-        ),
-        byte_samples=(),
-    )
-    ci = ComponentInteraction(
-        counts=tuple(
-            (node, tuple((tuple(k), v) for k, v in items))
-            for node, items in data["ci"]["counts"]
-        )
-    )
-    dd = _PersistedDelayDistribution(
-        data["dd"]["pairs"], data["dd"]["bin_width"]
-    )
-    pc = PartialCorrelation(
-        correlations=tuple(
-            (_pair_from(p), r) for p, r in data["pc"]["correlations"]
-        ),
-        epoch=data["pc"]["epoch"],
-    )
-    return ApplicationSignature(group=group, cg=cg, fs=fs, ci=ci, dd=dd, pc=pc)
-
-
-def _decode_infrastructure(data: Dict[str, Any]) -> InfrastructureSignature:
-    return InfrastructureSignature(
-        pt=PhysicalTopology(
-            switch_links=frozenset(tuple(l) for l in data["pt"]["links"]),
-            host_attachment=tuple(tuple(a) for a in data["pt"]["attachment"]),
-            switch_observations=tuple(
-                (o[0], int(o[1])) for o in data["pt"].get("observations", [])
-            ),
-        ),
-        isl=InterSwitchLatency(
-            stats=tuple(
-                (tuple(pair), tuple(stats)) for pair, stats in data["isl"]["stats"]
-            )
-        ),
-        crt=ControllerResponseTime(
-            mean=data["crt"]["mean"],
-            std=data["crt"]["std"],
-            count=data["crt"]["count"],
-        ),
-        port_down_events=tuple(
-            (float(t), str(d), int(p))
-            for t, d, p in data.get("port_down_events", [])
-        ),
-    )
 
 
 def model_from_dict(data: Dict[str, Any], source: Optional[str] = None) -> BehaviorModel:
@@ -329,10 +119,12 @@ def model_from_dict(data: Dict[str, Any], source: Optional[str] = None) -> Behav
     try:
         return BehaviorModel(
             app_signatures={
-                key: _decode_signature(sig)
+                key: ApplicationSignature.from_dict(sig)
                 for key, sig in data["app_signatures"].items()
             },
-            infrastructure=_decode_infrastructure(data["infrastructure"]),
+            infrastructure=InfrastructureSignature.from_dict(
+                data["infrastructure"]
+            ),
             window=tuple(data["window"]),
             stability={
                 (key, SignatureKind(kind)): verdict
@@ -375,7 +167,7 @@ def load_model(path: str) -> BehaviorModel:
 # ----------------------------------------------------------------------
 
 
-def log_fingerprint(log) -> str:
+def log_fingerprint(log: "ControllerLog") -> str:
     """SHA-256 fingerprint of a log's content.
 
     Logs loaded via :func:`~repro.openflow.serialize.read_log` carry the
@@ -401,7 +193,7 @@ def log_fingerprint(log) -> str:
     return out
 
 
-def config_fingerprint(config) -> str:
+def config_fingerprint(config: "FlowDiffConfig") -> str:
     """SHA-256 fingerprint of a config's *model-relevant* fields.
 
     Only knobs that change the produced model participate: the signature
@@ -435,8 +227,8 @@ def config_fingerprint(config) -> str:
 
 
 def model_cache_key(
-    log,
-    config,
+    log: "ControllerLog",
+    config: "FlowDiffConfig",
     window: Tuple[float, float],
     assess: bool,
 ) -> str:
@@ -514,7 +306,12 @@ class ModelCache:
     with any reloaded model).
     """
 
-    def __init__(self, root: str, metrics=None, tracer=None) -> None:
+    def __init__(
+        self,
+        root: str,
+        metrics: Optional["MetricsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
         from repro.obs.metrics import NOOP_REGISTRY
         from repro.obs.tracing import NOOP_TRACER
 
@@ -527,8 +324,8 @@ class ModelCache:
 
     def entry(
         self,
-        log,
-        config,
+        log: "ControllerLog",
+        config: "FlowDiffConfig",
         window: Tuple[float, float],
         assess: bool = True,
     ) -> _CacheEntry:

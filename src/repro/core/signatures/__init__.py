@@ -20,11 +20,11 @@ Infrastructure signatures, built data-center-wide:
 * :class:`~repro.core.signatures.infrastructure.ControllerResponseTime` (CRT).
 """
 
-from repro.core.signatures.base import ChangeRecord, SignatureKind
+from repro.core.signatures.base import ChangeRecord, Signature, SignatureKind
 from repro.core.signatures.connectivity import ConnectivityGraph
 from repro.core.signatures.flowstats import FlowStats
 from repro.core.signatures.interaction import ComponentInteraction
-from repro.core.signatures.delay import DelayDistribution
+from repro.core.signatures.delay import DelayDistribution, PersistedDelayDistribution
 from repro.core.signatures.correlation import PartialCorrelation
 from repro.core.signatures.application import (
     ApplicationSignature,
@@ -41,11 +41,13 @@ from repro.core.signatures.infrastructure import (
 
 __all__ = [
     "ChangeRecord",
+    "Signature",
     "SignatureKind",
     "ConnectivityGraph",
     "FlowStats",
     "ComponentInteraction",
     "DelayDistribution",
+    "PersistedDelayDistribution",
     "PartialCorrelation",
     "ApplicationSignature",
     "SignatureConfig",

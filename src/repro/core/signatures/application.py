@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import FlowRecord, extract_flow_records
 from repro.core.groups import ApplicationGroup, extract_groups
+from repro.core.signatures.base import JsonDict
 from repro.core.signatures.connectivity import ConnectivityGraph
 from repro.core.signatures.correlation import PartialCorrelation
 from repro.core.signatures.delay import DelayDistribution
@@ -49,6 +50,45 @@ class ApplicationSignature:
     def key(self) -> str:
         """The owning group's deterministic key."""
         return self.group.key
+
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding of the whole bundle.
+
+        Delegates to each component's ``to_dict`` — the format is owned
+        here and in those methods; :mod:`repro.core.persist` only frames
+        the result with version and window metadata.
+        """
+        return {
+            "group": {
+                "members": sorted(self.group.members),
+                "services": sorted(self.group.services),
+            },
+            "cg": self.cg.to_dict(),
+            "fs": self.fs.to_dict(),
+            "ci": self.ci.to_dict(),
+            "dd": self.dd.to_dict(),
+            "pc": self.pc.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "ApplicationSignature":
+        """Rebuild from :meth:`to_dict` output.
+
+        The DD component decodes to a summary-backed
+        :class:`~repro.core.signatures.delay.PersistedDelayDistribution`;
+        everything else round-trips exactly.
+        """
+        return cls(
+            group=ApplicationGroup(
+                members=frozenset(data["group"]["members"]),
+                services=frozenset(data["group"]["services"]),
+            ),
+            cg=ConnectivityGraph.from_dict(data["cg"]),
+            fs=FlowStats.from_dict(data["fs"]),
+            ci=ComponentInteraction.from_dict(data["ci"]),
+            dd=DelayDistribution.from_dict(data["dd"]),
+            pc=PartialCorrelation.from_dict(data["pc"]),
+        )
 
 
 def group_records(

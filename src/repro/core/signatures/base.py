@@ -1,10 +1,40 @@
-"""Shared signature vocabulary: kinds and change records."""
+"""Shared signature vocabulary: the base contract, kinds, change records."""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+
+class Signature:
+    """Base class of every signature component (CG/FS/CI/DD/PC/PT/ISL/CRT).
+
+    Subclasses are frozen dataclasses carrying derived signature content.
+    The class is deliberately *not* abstract — ``merge`` signatures vary
+    per component (some need window bounds, all need their ``keep_*``
+    retention flag), so the contract is enforced statically by the
+    ``signature-contract`` lint rule of :mod:`repro.qa` instead of by
+    ``abc``. Every direct subclass must define:
+
+    * ``merge(cls, parts, ...)`` — combine partials built over slices of
+      one stream into the signature a single build over the full stream
+      would produce. **Must be associative** (the parallel shard pipeline
+      in :mod:`repro.core.parallel` merges in tree order) as long as the
+      retention flag (``keep_rows``/``keep_events``/... ) is threaded
+      through intermediate merges; the property-based harness in
+      ``tests/test_signature_contract.py`` checks this.
+    * ``diff(self, other, ...)`` — change records of ``other`` (current)
+      against ``self`` (baseline).
+    * ``to_dict(self)`` — the persisted-JSON encoding of the *derived*
+      content (never retained raw state); consumed by
+      :mod:`repro.core.persist`.
+    * ``from_dict(cls, data)`` — rebuild from :meth:`to_dict` output. The
+      round-trip must re-encode identically: ``from_dict(d).to_dict() ==
+      d``.
+    """
+
+    __slots__ = ()
 
 
 class SignatureKind(str, enum.Enum):
@@ -75,3 +105,38 @@ class ChangeRecord:
 def edge_component(a: str, b: str) -> str:
     """Canonical component name for the link/edge between two nodes."""
     return f"{a}--{b}"
+
+
+# ----------------------------------------------------------------------
+# JSON encoding helpers shared by the signature ``to_dict``/``from_dict``
+# implementations (and re-used by :mod:`repro.core.persist`). Edges are
+# 2-lists, edge pairs are 2-lists of 2-lists — JSON has no tuples.
+# ----------------------------------------------------------------------
+
+
+def encode_edge(edge: Tuple[str, str]) -> List[str]:
+    """JSON encoding of one directed or sorted edge."""
+    return [edge[0], edge[1]]
+
+
+def decode_edge(data: Any) -> Tuple[str, str]:
+    """Inverse of :func:`encode_edge`."""
+    return (data[0], data[1])
+
+
+def encode_pair(pair: Tuple[Tuple[str, str], Tuple[str, str]]) -> List[List[str]]:
+    """JSON encoding of an (incoming edge, outgoing edge) pair."""
+    return [encode_edge(pair[0]), encode_edge(pair[1])]
+
+
+def decode_pair(data: Any) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+    """Inverse of :func:`encode_pair`."""
+    return (decode_edge(data[0]), decode_edge(data[1]))
+
+
+def finite_or_flag(value: float) -> float:
+    """Map ``inf`` to the JSON-safe sentinel ``-1.0`` (decoders reverse it)."""
+    return value if value != float("inf") else -1.0
+
+
+JsonDict = Dict[str, Any]

@@ -13,13 +13,21 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.events import FlowArrival
-from repro.core.signatures.base import ChangeRecord, SignatureKind, edge_component
+from repro.core.signatures.base import (
+    ChangeRecord,
+    JsonDict,
+    Signature,
+    SignatureKind,
+    decode_edge,
+    edge_component,
+    encode_edge,
+)
 
 Edge = Tuple[str, str]
 
 
 @dataclass(frozen=True)
-class ConnectivityGraph:
+class ConnectivityGraph(Signature):
     """Directed host-level communication graph of one application group.
 
     Attributes:
@@ -61,6 +69,23 @@ class ConnectivityGraph:
         return cls(
             edges=frozenset(first),
             first_seen=tuple(sorted(first.items())),
+        )
+
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding (see :mod:`repro.core.persist`)."""
+        return {
+            "edges": [encode_edge(e) for e in sorted(self.edges)],
+            "first_seen": [[encode_edge(e), t] for e, t in self.first_seen],
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "ConnectivityGraph":
+        """Rebuild from :meth:`to_dict` output (exact round-trip)."""
+        return cls(
+            edges=frozenset(decode_edge(e) for e in data["edges"]),
+            first_seen=tuple(
+                (decode_edge(e), t) for e, t in data["first_seen"]
+            ),
         )
 
     def first_seen_at(self, edge: Edge) -> Optional[float]:

@@ -16,14 +16,22 @@ from typing import Dict, List, Sequence, Tuple
 from repro.analysis.stats import pearson
 from repro.analysis.timeseries import epoch_counts
 from repro.core.events import FlowArrival
-from repro.core.signatures.base import ChangeRecord, SignatureKind, edge_component
+from repro.core.signatures.base import (
+    ChangeRecord,
+    JsonDict,
+    Signature,
+    SignatureKind,
+    decode_pair,
+    edge_component,
+    encode_pair,
+)
 
 Edge = Tuple[str, str]
 EdgePair = Tuple[Edge, Edge]
 
 
 @dataclass(frozen=True)
-class PartialCorrelation:
+class PartialCorrelation(Signature):
     """Pearson correlation of epoch flow counts between adjacent CG edges.
 
     Attributes:
@@ -142,6 +150,25 @@ class PartialCorrelation:
             )
             if keep_times
             else (),
+        )
+
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding (see :mod:`repro.core.persist`)."""
+        return {
+            "epoch": self.epoch,
+            "correlations": [
+                [encode_pair(p), r] for p, r in self.correlations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "PartialCorrelation":
+        """Rebuild from :meth:`to_dict` output (raw times stay empty)."""
+        return cls(
+            correlations=tuple(
+                (decode_pair(p), r) for p, r in data["correlations"]
+            ),
+            epoch=data["epoch"],
         )
 
     def pairs(self) -> List[EdgePair]:

@@ -19,7 +19,16 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.stats import EmpiricalCDF, histogram_peaks
 from repro.core.events import FlowArrival
-from repro.core.signatures.base import ChangeRecord, SignatureKind, edge_component
+from repro.core.signatures.base import (
+    ChangeRecord,
+    JsonDict,
+    Signature,
+    SignatureKind,
+    decode_pair,
+    edge_component,
+    encode_pair,
+    finite_or_flag,
+)
 
 Edge = Tuple[str, str]
 #: An (incoming edge, outgoing edge) pair sharing a middle node.
@@ -27,7 +36,7 @@ EdgePair = Tuple[Edge, Edge]
 
 
 @dataclass(frozen=True)
-class DelayDistribution:
+class DelayDistribution(Signature):
     """Inter-flow delay peaks for each dependent edge pair of a group.
 
     Attributes:
@@ -182,6 +191,41 @@ class DelayDistribution:
             bin_width=bin_width,
             events=events if keep_events else (),
         )
+
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding: per-pair summaries, no raw samples.
+
+        Peaks plus the first-pairing mean/SE/count per pair — everything
+        diffing consumes. ``inf`` standard errors travel as the ``-1.0``
+        sentinel (JSON has no infinity).
+        """
+        return {
+            "bin_width": self.bin_width,
+            # Persist summaries, not raw samples: peaks plus the
+            # first-pairing mean/SE/count per pair.
+            "pairs": [
+                {
+                    "pair": encode_pair(pair),
+                    "peaks": [
+                        list(p) for p in dict(self.peaks).get(pair, ())
+                    ],
+                    "mean": self.mean_delay(pair),
+                    "stderr": finite_or_flag(self.mean_standard_error(pair)),
+                    "n": len(self.samples_for(pair)),
+                    "n_first": len(self.first_samples_for(pair)),
+                }
+                for pair in self.pairs()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "DelayDistribution":
+        """Rebuild from :meth:`to_dict` output.
+
+        Returns a :class:`PersistedDelayDistribution` — diffs identically
+        to the original but cannot re-plot sample-level CDFs.
+        """
+        return PersistedDelayDistribution(data["pairs"], data["bin_width"])
 
     def pairs(self) -> List[EdgePair]:
         """All edge pairs with delay samples."""
@@ -363,3 +407,44 @@ class DelayDistribution:
                     )
                 )
         return changes
+
+
+class PersistedDelayDistribution(DelayDistribution):
+    """A DelayDistribution reloaded from summaries (no raw samples).
+
+    Overrides the sample-derived accessors to return the persisted
+    mean/SE; ``samples``/``first_samples`` hold placeholder tuples sized
+    to the original sample counts so length-based guards (e.g. the
+    structure-collapse detector's minimum-sample check) behave the same.
+    """
+
+    def __init__(self, pairs: List[JsonDict], bin_width: float) -> None:
+        samples = []
+        first_samples = []
+        peaks = []
+        self._means: Dict[EdgePair, float] = {}
+        self._stderrs: Dict[EdgePair, float] = {}
+        for entry in pairs:
+            pair = decode_pair(entry["pair"])
+            samples.append((pair, (0.0,) * entry["n"]))
+            first_samples.append((pair, (0.0,) * entry["n_first"]))
+            peaks.append((pair, tuple(tuple(p) for p in entry["peaks"])))
+            self._means[pair] = entry["mean"]
+            stderr = entry["stderr"]
+            self._stderrs[pair] = float("inf") if stderr < 0 else stderr
+        object.__setattr__(self, "samples", tuple(samples))
+        object.__setattr__(self, "first_samples", tuple(first_samples))
+        object.__setattr__(self, "peaks", tuple(peaks))
+        object.__setattr__(self, "bin_width", bin_width)
+        object.__setattr__(self, "events", ())
+
+    def mean_delay(self, pair: EdgePair) -> float:  # noqa: D102 - inherited
+        return self._means.get(pair, -1.0)
+
+    def mean_standard_error(self, pair: EdgePair) -> float:  # noqa: D102
+        return self._stderrs.get(pair, float("inf"))
+
+    def delay_cdf(self, pair: EdgePair) -> EmpiricalCDF:  # noqa: D102
+        raise NotImplementedError(
+            "raw delay samples are not persisted; rebuild from the log"
+        )

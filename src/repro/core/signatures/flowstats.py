@@ -15,7 +15,15 @@ from typing import Dict, List, Sequence, Tuple
 from repro.analysis.stats import EmpiricalCDF, mean_std
 from repro.analysis.timeseries import epoch_counts
 from repro.core.events import FlowRecord
-from repro.core.signatures.base import ChangeRecord, SignatureKind, edge_component
+from repro.core.signatures.base import (
+    ChangeRecord,
+    JsonDict,
+    Signature,
+    SignatureKind,
+    decode_edge,
+    edge_component,
+    encode_edge,
+)
 
 Edge = Tuple[str, str]
 #: Raw per-record row retained by partial builds: (arrival time, byte
@@ -44,7 +52,7 @@ class RateSummary:
 
 
 @dataclass(frozen=True)
-class FlowStats:
+class FlowStats(Signature):
     """Volume-dimension statistics of one application group's flows.
 
     Attributes:
@@ -195,6 +203,54 @@ class FlowStats:
             per_edge_bytes=tuple(sorted(per_edge.items())),
             byte_samples=tuple(row[1] for row in with_counters),
             rows=rows if keep_rows else (),
+        )
+
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding: scalar summaries only.
+
+        Raw ``byte_samples`` and ``rows`` are deliberately dropped — the
+        persisted model diffs identically but cannot re-plot sample-level
+        CDFs (the module docstring of :mod:`repro.core.persist` owns that
+        trade-off).
+        """
+        return {
+            "flow_count": self.flow_count,
+            "byte_mean": self.byte_mean,
+            "byte_std": self.byte_std,
+            "duration_mean": self.duration_mean,
+            "duration_std": self.duration_std,
+            "packet_mean": self.packet_mean,
+            "flows_per_sec": [
+                self.flows_per_sec.maximum,
+                self.flows_per_sec.minimum,
+                self.flows_per_sec.average,
+            ],
+            "bytes_per_sec": [
+                self.bytes_per_sec.maximum,
+                self.bytes_per_sec.minimum,
+                self.bytes_per_sec.average,
+            ],
+            "per_edge_bytes": [
+                [encode_edge(e), b] for e, b in self.per_edge_bytes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "FlowStats":
+        """Rebuild from :meth:`to_dict` output (samples stay empty)."""
+        return cls(
+            flow_count=data["flow_count"],
+            byte_mean=data["byte_mean"],
+            byte_std=data["byte_std"],
+            duration_mean=data["duration_mean"],
+            duration_std=data["duration_std"],
+            packet_mean=data["packet_mean"],
+            flows_per_sec=RateSummary(*data["flows_per_sec"]),
+            bytes_per_sec=RateSummary(*data["bytes_per_sec"]),
+            per_edge_bytes=tuple(
+                (decode_edge(e), b) for e, b in data["per_edge_bytes"]
+            ),
+            byte_samples=(),
         )
 
     def byte_cdf(self) -> EmpiricalCDF:

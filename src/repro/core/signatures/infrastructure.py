@@ -20,13 +20,21 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import mean_std
 from repro.core.events import FlowArrival
-from repro.core.signatures.base import ChangeRecord, SignatureKind, edge_component
+from repro.core.signatures.base import (
+    ChangeRecord,
+    JsonDict,
+    Signature,
+    SignatureKind,
+    decode_edge,
+    edge_component,
+    encode_edge,
+)
 
 SwitchEdge = Tuple[str, str]
 
 
 @dataclass(frozen=True)
-class PhysicalTopology:
+class PhysicalTopology(Signature):
     """Inferred switch-level connectivity and host attachment points.
 
     Attributes:
@@ -127,6 +135,29 @@ class PhysicalTopology:
             )
             if keep_votes
             else (),
+        )
+
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding (votes are never persisted)."""
+        return {
+            "links": [encode_edge(l) for l in sorted(self.switch_links)],
+            "attachment": [list(a) for a in self.host_attachment],
+            "observations": [list(o) for o in self.switch_observations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "PhysicalTopology":
+        """Rebuild from :meth:`to_dict` output.
+
+        ``observations`` may be absent in payloads written before the
+        field existed — it decodes as empty rather than failing.
+        """
+        return cls(
+            switch_links=frozenset(decode_edge(l) for l in data["links"]),
+            host_attachment=tuple(tuple(a) for a in data["attachment"]),
+            switch_observations=tuple(
+                (o[0], int(o[1])) for o in data.get("observations", [])
+            ),
         )
 
     def observed_switches(self) -> FrozenSet[str]:
@@ -245,7 +276,7 @@ class PhysicalTopology:
 
 
 @dataclass(frozen=True)
-class InterSwitchLatency:
+class InterSwitchLatency(Signature):
     """Mean/std of observed latency between adjacent switch pairs.
 
     ``samples`` holds the raw per-pair latency values, retained only by
@@ -318,6 +349,25 @@ class InterSwitchLatency:
             else (),
         )
 
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding (raw samples are never persisted)."""
+        return {
+            "stats": [
+                [encode_edge(pair), [mean, std, n]]
+                for pair, (mean, std, n) in self.stats
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "InterSwitchLatency":
+        """Rebuild from :meth:`to_dict` output (samples stay empty)."""
+        return cls(
+            stats=tuple(
+                (decode_edge(pair), (stats[0], stats[1], stats[2]))
+                for pair, stats in data["stats"]
+            )
+        )
+
     def pairs(self) -> List[SwitchEdge]:
         """All measured adjacent switch pairs."""
         return [p for p, _ in self.stats]
@@ -370,7 +420,7 @@ class InterSwitchLatency:
 
 
 @dataclass(frozen=True)
-class ControllerResponseTime:
+class ControllerResponseTime(Signature):
     """Mean/std/count of PacketIn-to-FlowMod response times.
 
     ``samples`` holds the raw response times, retained only by partial
@@ -431,6 +481,15 @@ class ControllerResponseTime:
             samples=tuple(samples) if keep_samples else (),
         )
 
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding (raw samples are never persisted)."""
+        return {"mean": self.mean, "std": self.std, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "ControllerResponseTime":
+        """Rebuild from :meth:`to_dict` output (samples stay empty)."""
+        return cls(mean=data["mean"], std=data["std"], count=data["count"])
+
     def distance(self, other: "ControllerResponseTime") -> float:
         """Mean shift in baseline sigmas."""
         denom = max(self.std, self.mean * 0.1, 1e-6)
@@ -480,6 +539,32 @@ class InfrastructureSignature:
     def corroborated_dead_switches(self) -> FrozenSet[str]:
         """Switches that themselves reported a port/link going down."""
         return frozenset(dpid for _, dpid, _ in self.port_down_events)
+
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding of the whole bundle."""
+        return {
+            "pt": self.pt.to_dict(),
+            "isl": self.isl.to_dict(),
+            "crt": self.crt.to_dict(),
+            "port_down_events": [list(e) for e in self.port_down_events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "InfrastructureSignature":
+        """Rebuild from :meth:`to_dict` output.
+
+        ``port_down_events`` decodes leniently (absent in payloads written
+        before the field existed).
+        """
+        return cls(
+            pt=PhysicalTopology.from_dict(data["pt"]),
+            isl=InterSwitchLatency.from_dict(data["isl"]),
+            crt=ControllerResponseTime.from_dict(data["crt"]),
+            port_down_events=tuple(
+                (float(t), str(d), int(p))
+                for t, d, p in data.get("port_down_events", [])
+            ),
+        )
 
     @classmethod
     def merge(

@@ -16,7 +16,13 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.stats import chi_squared
 from repro.core.events import FlowArrival
-from repro.core.signatures.base import ChangeRecord, SignatureKind, edge_component
+from repro.core.signatures.base import (
+    ChangeRecord,
+    JsonDict,
+    Signature,
+    SignatureKind,
+    edge_component,
+)
 
 Edge = Tuple[str, str]
 #: Per node: mapping from (direction, peer) to raw flow count.
@@ -24,7 +30,7 @@ NodeCounts = Dict[Tuple[str, str], int]
 
 
 @dataclass(frozen=True)
-class ComponentInteraction:
+class ComponentInteraction(Signature):
     """Normalized per-edge flow counts at each node of a group's CG."""
 
     #: node -> tuple of ((direction, peer), count), direction in {"in","out"}.
@@ -69,6 +75,25 @@ class ComponentInteraction:
             counts=tuple(
                 (node, tuple(sorted(counts.items())))
                 for node, counts in sorted(per_node.items())
+            )
+        )
+
+    def to_dict(self) -> JsonDict:
+        """The persisted-JSON encoding (see :mod:`repro.core.persist`)."""
+        return {
+            "counts": [
+                [node, [[list(k), v] for k, v in items]]
+                for node, items in self.counts
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "ComponentInteraction":
+        """Rebuild from :meth:`to_dict` output (exact round-trip)."""
+        return cls(
+            counts=tuple(
+                (node, tuple(((k[0], k[1]), v) for k, v in items))
+                for node, items in data["counts"]
             )
         )
 
@@ -131,7 +156,7 @@ class ComponentInteraction:
                 involved = {node}
                 mine = self.normalized(node)
                 theirs = other.normalized(node)
-                for (direction, peer), share in sorted(
+                for (direction, peer), _share in sorted(
                     set(mine.items()) ^ set(theirs.items())
                 ):
                     involved.add(peer)

@@ -18,6 +18,7 @@ import json
 from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.names import escape_label_value, validate_metric_name
 from repro.obs.tracing import Tracer
 
 
@@ -167,18 +168,10 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
-def _escape_label_value(value: object) -> str:
-    # Exposition-format escaping: backslash first, then quote and newline.
-    return (
-        str(value)
-        .replace("\\", "\\\\")
-        .replace('"', '\\"')
-        .replace("\n", "\\n")
-    )
-
-
 def _format_labels(labels, extra: str = "") -> str:
-    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
+    # Label-value escaping is shared with the naming module so the lint
+    # rule, the registry, and this renderer agree on one grammar.
+    parts = [f'{k}="{escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -190,11 +183,17 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     Counters get a ``_total``-less passthrough of their registered name
     (names in this codebase already follow the ``_total`` convention);
     histograms become the cumulative ``_bucket``/``_sum``/``_count``
-    triple Prometheus expects.
+    triple Prometheus expects. Metric names are validated with the shared
+    validator (:mod:`repro.obs.names`) so a registry assembled outside
+    the normal factories still cannot emit an unscrapable exposition.
+
+    Raises:
+        ValueError: when an instrument carries an illegal metric name.
     """
     lines: List[str] = []
     typed: set = set()
     for metric in registry:
+        validate_metric_name(metric.name)
         if metric.name not in typed:
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             typed.add(metric.name)

@@ -27,6 +27,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.names import validate_label_name, validate_metric_name
+
 #: ``(name, sorted-label-items)`` — the registry key of one instrument.
 MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
@@ -226,9 +228,18 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as {found.kind}"
                 )
             return found
+        self._validate(name, labels)
         made = Histogram(name, key[1], buckets=buckets or DEFAULT_BUCKETS)
         self._instruments[key] = made
         return made
+
+    @staticmethod
+    def _validate(name: str, labels: Dict[str, str]) -> None:
+        """Reject illegal Prometheus names at creation time (never per
+        observation — lookups of an existing instrument skip this)."""
+        validate_metric_name(name)
+        for label in labels:
+            validate_label_name(label)
 
     def _get_or_create(self, cls, name: str, labels: Dict[str, str]):
         key = (name, _label_key(labels))
@@ -239,6 +250,7 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as {found.kind}"
                 )
             return found
+        self._validate(name, labels)
         made = cls(name, key[1])
         self._instruments[key] = made
         return made

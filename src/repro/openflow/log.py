@@ -95,7 +95,7 @@ class ControllerLog:
         lo = bisect.bisect_left(self._messages, (t_start, -1, None))  # type: ignore[list-item]
         hi = bisect.bisect_left(self._messages, (t_end, -1, None))  # type: ignore[list-item]
         sub = ControllerLog()
-        for ts, _, msg in self._messages[lo:hi]:
+        for _ts, _, msg in self._messages[lo:hi]:
             sub.append(msg)
         return sub
 

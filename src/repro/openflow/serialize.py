@@ -27,6 +27,14 @@ from repro.openflow.messages import (
     PortStatus,
 )
 
+#: Capture-format version. The format itself is versionless on the wire
+#: (each line is a self-describing message object — old captures must stay
+#: loadable), but the schema manifest checked by the ``schema-drift`` lint
+#: rule of :mod:`repro.qa` is keyed by this constant: changing any
+#: serialized field of :func:`message_to_json` without bumping it fails
+#: ``repro lint``.
+FORMAT_VERSION = 1
+
 _TYPES: Dict[str, Type[ControlMessage]] = {
     "packet_in": PacketIn,
     "packet_out": PacketOut,

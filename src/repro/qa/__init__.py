@@ -1,0 +1,50 @@
+"""flowlint: domain-invariant static analysis for the reproduction.
+
+FlowDiff's correctness rests on invariants the interpreter never checks:
+simulation determinism (captures must replay identically or L1/L2 diffs
+reflect the run, not the network), associative signature merges (the
+parallel shard pipeline re-orders them), and stable serialization schemas
+(models and captures silently corrupt downstream diffs when fields drift
+without a ``FORMAT_VERSION`` bump). This package enforces those
+invariants statically, as an AST pass over the source tree, exposed as
+``repro lint`` and run as a hard CI gate.
+
+Layout:
+
+* :mod:`repro.qa.framework` — the engine: :class:`~repro.qa.framework.Rule`
+  base class, per-file dispatch, ``# flowlint: disable=RULE`` pragmas,
+  text/JSON reporters.
+* :mod:`repro.qa.rules` — the domain rules (sim-clock discipline,
+  determinism, open() encoding, signature contract, fork safety, metric
+  hygiene).
+* :mod:`repro.qa.schemas` — serialized-schema extraction and the
+  ``schemas.json`` manifest keyed by ``FORMAT_VERSION``.
+"""
+
+from repro.qa.framework import (
+    Finding,
+    LintEngine,
+    LintResult,
+    ModuleFile,
+    Project,
+    Rule,
+    render_json,
+    render_text,
+)
+from repro.qa.rules import default_rules
+from repro.qa.schemas import SchemaDriftRule, extract_schemas, update_manifest
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "ModuleFile",
+    "Project",
+    "Rule",
+    "SchemaDriftRule",
+    "default_rules",
+    "extract_schemas",
+    "render_json",
+    "render_text",
+    "update_manifest",
+]

@@ -1,0 +1,484 @@
+"""The flowlint domain rules.
+
+Each rule encodes one invariant the reproduction's correctness rests on;
+the module docstrings of the code under check own the *why*, the rule
+docstrings here own the *what is flagged*. All rules are pure AST passes
+— nothing here imports or executes the code being linted (the one
+runtime dependency, the Prometheus name validator, is shared with
+:mod:`repro.obs.names` so lint-time and run-time agree by construction).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.obs.names import (
+    KNOWN_LABELS,
+    KNOWN_METRICS,
+    is_valid_label_name,
+    is_valid_metric_name,
+)
+from repro.qa.framework import (
+    Finding,
+    ModuleFile,
+    Project,
+    Rule,
+    dotted_call_name,
+    import_aliases,
+    iter_calls,
+    literal_str,
+)
+from repro.qa.schemas import SchemaDriftRule
+
+#: Packages whose code runs *inside* the simulation: everything here must
+#: read time from the engine clock, never the wall clock.
+SIM_CLOCK_PACKAGES: Tuple[str, ...] = (
+    "repro.netsim",
+    "repro.openflow",
+    "repro.apps",
+    "repro.workload",
+)
+
+#: Packages that must be deterministic under a fixed seed — the sim-clock
+#: packages plus everything that drives or perturbs a simulation.
+DETERMINISM_PACKAGES: Tuple[str, ...] = SIM_CLOCK_PACKAGES + (
+    "repro.faults",
+    "repro.ops",
+    "repro.scenarios",
+    "repro.chaos",
+)
+
+#: Wall-clock reads banned inside the simulation packages.
+WALL_CLOCK_CALLS: Tuple[str, ...] = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+)
+
+
+class SimClockRule(Rule):
+    """No wall-clock reads inside simulation packages.
+
+    Simulated components must take time from the engine clock
+    (``sim.now``); a ``time.time()`` in packet handling would couple
+    model output to host load and break capture replay. Telemetry that
+    genuinely measures host cost (e.g. callback duration histograms)
+    carries a justified pragma instead.
+    """
+
+    name = "sim-clock"
+    description = "simulation code must use the engine clock, not the wall clock"
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.tree is None or not module.in_package(SIM_CLOCK_PACKAGES):
+            return
+        aliases = import_aliases(module.tree)
+        for call in iter_calls(module.tree):
+            dotted = dotted_call_name(call, aliases)
+            if dotted in WALL_CLOCK_CALLS:
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=call.lineno,
+                    message=(
+                        f"wall-clock read {dotted}() in simulation package "
+                        f"{module.module}; use the engine clock (sim.now)"
+                    ),
+                )
+
+
+class DeterminismRule(Rule):
+    """No shared-state randomness in simulation-driving packages.
+
+    Module-level ``random.*`` calls draw from the interpreter-global RNG,
+    whose state depends on import order and everything else in the
+    process — two runs with the same scenario seed would diverge. Code in
+    these packages must thread an explicitly seeded ``random.Random``
+    instance; ``random.Random()`` *without* a seed (it seeds from the OS)
+    is equally flagged.
+    """
+
+    name = "determinism"
+    description = "simulation packages must use explicitly seeded RNG instances"
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.tree is None or not module.in_package(DETERMINISM_PACKAGES):
+            return
+        aliases = import_aliases(module.tree)
+        for call in iter_calls(module.tree):
+            dotted = dotted_call_name(call, aliases)
+            if dotted is None or not (
+                dotted == "random.Random" or dotted.startswith("random.")
+            ):
+                continue
+            if dotted == "random.Random":
+                if not call.args and not call.keywords:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=call.lineno,
+                        message=(
+                            "unseeded random.Random() seeds from the OS; "
+                            "pass an explicit seed"
+                        ),
+                    )
+                continue
+            yield Finding(
+                rule=self.name,
+                path=module.path,
+                line=call.lineno,
+                message=(
+                    f"{dotted}() uses the interpreter-global RNG; thread a "
+                    f"seeded random.Random instance instead"
+                ),
+            )
+
+
+class OpenEncodingRule(Rule):
+    """Every text-mode ``open()`` must pass ``encoding=``.
+
+    Without it the platform locale decides how captures and models are
+    read back — the same file can decode differently on two machines.
+    Binary-mode opens (a literal mode containing ``"b"``) are exempt.
+    """
+
+    name = "open-encoding"
+    description = "text-mode open() calls must pass encoding="
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for call in iter_calls(module.tree):
+            if not (isinstance(call.func, ast.Name) and call.func.id == "open"):
+                continue
+            if any(kw.arg == "encoding" for kw in call.keywords):
+                continue
+            mode: Optional[ast.expr] = None
+            if len(call.args) >= 2:
+                mode = call.args[1]
+            for kw in call.keywords:
+                if kw.arg == "mode":
+                    mode = kw.value
+            mode_text = literal_str(mode) if mode is not None else None
+            if mode_text is not None and "b" in mode_text:
+                continue
+            yield Finding(
+                rule=self.name,
+                path=module.path,
+                line=call.lineno,
+                message=(
+                    "open() without encoding= decodes with the platform "
+                    "locale; pass encoding='utf-8' (or a literal binary mode)"
+                ),
+            )
+
+
+class SignatureContractRule(Rule):
+    """Every ``Signature`` subclass implements the full contract.
+
+    The parallel shard pipeline merges signatures in tree order and the
+    persistence layer round-trips them through JSON, so a direct subclass
+    of :class:`repro.core.signatures.base.Signature` must define all of
+    ``merge``/``diff``/``to_dict``/``from_dict`` (the associativity of
+    ``merge`` is checked dynamically by the property harness in
+    ``tests/test_signature_contract.py``). The inverse is enforced too: a
+    class in the signatures package that defines both ``merge`` and
+    ``diff`` is a signature component and must subclass ``Signature`` so
+    the contract applies to it.
+    """
+
+    name = "signature-contract"
+    description = "Signature subclasses define merge/diff/to_dict/from_dict"
+
+    REQUIRED: Tuple[str, ...] = ("merge", "diff", "to_dict", "from_dict")
+    _BASE = "repro.core.signatures.base.Signature"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.tree is None:
+                continue
+            aliases = import_aliases(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                defined = {
+                    item.name
+                    for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                if self._bases_signature(node, aliases):
+                    missing = [m for m in self.REQUIRED if m not in defined]
+                    if missing:
+                        yield Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=node.lineno,
+                            message=(
+                                f"Signature subclass {node.name} is missing "
+                                f"{', '.join(missing)} (see the Signature "
+                                f"base class contract)"
+                            ),
+                        )
+                elif (
+                    module.in_package(("repro.core.signatures",))
+                    and "merge" in defined
+                    and "diff" in defined
+                ):
+                    yield Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=node.lineno,
+                        message=(
+                            f"{node.name} defines merge and diff but does not "
+                            f"subclass Signature; the contract (and its "
+                            f"associativity harness) must apply to it"
+                        ),
+                    )
+
+    def _bases_signature(
+        self, node: ast.ClassDef, aliases: Dict[str, str]
+    ) -> bool:
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                resolved = aliases.get(base.id, base.id)
+                if resolved == self._BASE or resolved.endswith(".Signature"):
+                    return True
+                if base.id == "Signature":
+                    return True
+            elif isinstance(base, ast.Attribute) and base.attr == "Signature":
+                return True
+        return False
+
+
+class ForkSafetyRule(Rule):
+    """Work shipped to a ``ProcessPoolExecutor`` must be fork-safe.
+
+    The sharded modeling path shares its input via a module global that
+    fork-children inherit copy-on-write; anything submitted to the pool
+    must therefore be a *module-level* function (lambdas and closures
+    don't pickle under spawn and silently capture stale state under
+    fork), and the worker must not declare ``global`` — writes to module
+    globals in a fork-child never propagate back, so a ``global``
+    statement in a worker is a bug that reads as working code.
+    """
+
+    name = "fork-safety"
+    description = "ProcessPoolExecutor work must be module-level, global-free"
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        aliases = import_aliases(module.tree)
+        pool_names = self._pool_names(module.tree, aliases)
+        if not pool_names:
+            return
+        top_level: Dict[str, ast.FunctionDef] = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        for call in iter_calls(module.tree):
+            func = call.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("map", "submit")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in pool_names
+            ):
+                continue
+            if not call.args:
+                continue
+            work = call.args[0]
+            if isinstance(work, ast.Lambda):
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=work.lineno,
+                    message=(
+                        "lambda submitted to a process pool; use a "
+                        "module-level function (fork inherits it, spawn can "
+                        "pickle it)"
+                    ),
+                )
+                continue
+            if not isinstance(work, ast.Name):
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=call.lineno,
+                    message=(
+                        "process-pool work must be a module-level function "
+                        "named directly (closures and bound methods capture "
+                        "state fork-children cannot share back)"
+                    ),
+                )
+                continue
+            worker = top_level.get(work.id)
+            if worker is None:
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=call.lineno,
+                    message=(
+                        f"process-pool work {work.id!r} is not a module-level "
+                        f"function in this module; closures capture state "
+                        f"fork-children cannot share back"
+                    ),
+                )
+                continue
+            for stmt in ast.walk(worker):
+                if isinstance(stmt, ast.Global):
+                    yield Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=stmt.lineno,
+                        message=(
+                            f"worker {worker.name!r} declares global "
+                            f"{', '.join(stmt.names)}; writes to module "
+                            f"globals in a fork-child never propagate back"
+                        ),
+                    )
+
+    def _pool_names(
+        self, tree: ast.Module, aliases: Dict[str, str]
+    ) -> Set[str]:
+        """Names bound to a ProcessPoolExecutor via with-as or assignment."""
+        out: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (
+                        self._is_pool_call(item.context_expr, aliases)
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        out.add(item.optional_vars.id)
+            elif isinstance(node, ast.Assign):
+                if self._is_pool_call(node.value, aliases):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            out.add(target.id)
+        return out
+
+    def _is_pool_call(self, node: ast.expr, aliases: Dict[str, str]) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = dotted_call_name(node, aliases)
+        return dotted is not None and dotted.endswith("ProcessPoolExecutor")
+
+
+class MetricNamesRule(Rule):
+    """Metric names are literal, valid, and declared in the manifest.
+
+    Every ``.counter(...)``/``.gauge(...)``/``.histogram(...)`` call site
+    must use a string-literal name that passes the shared Prometheus
+    validator (:mod:`repro.obs.names`) *and* appears in
+    :data:`~repro.obs.names.KNOWN_METRICS`; label keyword names must be
+    valid and in :data:`~repro.obs.names.KNOWN_LABELS`. Dynamic names are
+    allowed only inside ``repro.obs`` itself (the JSONL round-trip
+    rebuilds instruments from data, where the registry still validates at
+    runtime).
+    """
+
+    name = "metric-names"
+    description = "metric names must be literal, valid, and in the manifest"
+
+    _FACTORIES: Tuple[str, ...] = ("counter", "gauge", "histogram")
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        in_obs = module.in_package(("repro.obs",))
+        for call in iter_calls(module.tree):
+            func = call.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in self._FACTORIES
+            ):
+                continue
+            if not call.args:
+                continue
+            name = literal_str(call.args[0])
+            if name is None:
+                if not in_obs:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=call.lineno,
+                        message=(
+                            "metric name must be a string literal outside "
+                            "repro.obs so the manifest check can see it"
+                        ),
+                    )
+                continue
+            if not is_valid_metric_name(name):
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=call.lineno,
+                    message=(
+                        f"{name!r} is not a valid Prometheus metric name"
+                    ),
+                )
+            elif name not in KNOWN_METRICS:
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=call.lineno,
+                    message=(
+                        f"metric {name!r} is not declared in the manifest "
+                        f"(add it to KNOWN_METRICS in repro/obs/names.py)"
+                    ),
+                )
+            for kw in call.keywords:
+                if kw.arg is None or kw.arg == "buckets":
+                    continue
+                if not is_valid_label_name(kw.arg):
+                    yield Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=call.lineno,
+                        message=(
+                            f"{kw.arg!r} is not a valid Prometheus label name"
+                        ),
+                    )
+                elif kw.arg not in KNOWN_LABELS:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=call.lineno,
+                        message=(
+                            f"label {kw.arg!r} is not declared in the "
+                            f"manifest (add it to KNOWN_LABELS in "
+                            f"repro/obs/names.py)"
+                        ),
+                    )
+
+
+def default_rules(
+    manifest_path: Optional[str] = None,
+) -> List[Rule]:
+    """The standard rule set ``repro lint`` runs.
+
+    Args:
+        manifest_path: override the schema manifest location (tests point
+            this at fixtures); default is the checked-in
+            ``repro/qa/schemas.json``.
+    """
+    return [
+        SimClockRule(),
+        DeterminismRule(),
+        OpenEncodingRule(),
+        SchemaDriftRule(manifest_path=manifest_path),
+        SignatureContractRule(),
+        ForkSafetyRule(),
+        MetricNamesRule(),
+    ]

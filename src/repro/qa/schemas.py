@@ -1,0 +1,420 @@
+"""Serialized-schema extraction and the drift manifest.
+
+Three artifact families leave this codebase as JSON: capture logs
+(:mod:`repro.openflow.serialize`), behavior models
+(:mod:`repro.core.persist` framing the per-signature ``to_dict``
+encodings), and task libraries (:mod:`repro.core.tasks.serialize`). A
+field added or renamed in any of them silently corrupts downstream diffs
+against previously written artifacts — unless the format version is
+bumped so old readers refuse loudly.
+
+This module extracts each family's *serialized field set* straight from
+the AST of its encoder functions (dict-literal keys, ``.update(kw=...)``
+keywords, ``out["key"] =`` assignments) and compares it against the
+checked-in manifest ``repro/qa/schemas.json``, which is keyed by the
+family's ``FORMAT_VERSION``. The ``schema-drift`` rule fails when fields
+change without a version bump; ``repro lint --update-schemas``
+regenerates the manifest once the version *has* been bumped.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.qa.framework import Finding, ModuleFile, Project, Rule
+
+#: Where the checked-in manifest lives (next to this module).
+DEFAULT_MANIFEST_PATH = os.path.join(os.path.dirname(__file__), "schemas.json")
+
+
+@dataclass(frozen=True)
+class SchemaSource:
+    """One serialized-artifact family: encoder functions plus a version.
+
+    Attributes:
+        name: manifest key.
+        version_module: dotted module whose ``FORMAT_VERSION`` keys the
+            schema.
+        functions: per module, the encoder functions whose emitted field
+            names form the schema. Methods are named ``Class.method``.
+    """
+
+    name: str
+    version_module: str
+    functions: Tuple[Tuple[str, Tuple[str, ...]], ...]
+
+
+#: The families under drift protection. Adding a new serializer to the
+#: codebase means adding it here (and to the manifest via
+#: ``--update-schemas``) — the self-check test keeps this list honest.
+SCHEMA_SOURCES: Tuple[SchemaSource, ...] = (
+    SchemaSource(
+        name="capture",
+        version_module="repro.openflow.serialize",
+        functions=(
+            (
+                "repro.openflow.serialize",
+                ("message_to_json", "_flow_to_json", "_match_to_json"),
+            ),
+        ),
+    ),
+    SchemaSource(
+        name="model",
+        version_module="repro.core.persist",
+        functions=(
+            ("repro.core.persist", ("model_to_dict",)),
+            (
+                "repro.core.signatures.application",
+                ("ApplicationSignature.to_dict",),
+            ),
+            (
+                "repro.core.signatures.connectivity",
+                ("ConnectivityGraph.to_dict",),
+            ),
+            ("repro.core.signatures.flowstats", ("FlowStats.to_dict",)),
+            (
+                "repro.core.signatures.interaction",
+                ("ComponentInteraction.to_dict",),
+            ),
+            ("repro.core.signatures.delay", ("DelayDistribution.to_dict",)),
+            (
+                "repro.core.signatures.correlation",
+                ("PartialCorrelation.to_dict",),
+            ),
+            (
+                "repro.core.signatures.infrastructure",
+                (
+                    "PhysicalTopology.to_dict",
+                    "InterSwitchLatency.to_dict",
+                    "ControllerResponseTime.to_dict",
+                    "InfrastructureSignature.to_dict",
+                ),
+            ),
+        ),
+    ),
+    SchemaSource(
+        name="tasks",
+        version_module="repro.core.tasks.serialize",
+        functions=(
+            (
+                "repro.core.tasks.serialize",
+                ("library_to_dict", "automaton_to_dict", "_label_to_json"),
+            ),
+        ),
+    ),
+)
+
+
+class SchemaExtractionError(ValueError):
+    """A schema source could not be located in the project under lint."""
+
+
+def _find_function(
+    tree: ast.Module, qualname: str
+) -> Optional[ast.FunctionDef]:
+    """Locate a top-level function or a ``Class.method`` in a module AST."""
+    if "." in qualname:
+        cls_name, method = qualname.split(".", 1)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == cls_name:
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.FunctionDef)
+                        and item.name == method
+                    ):
+                        return item
+        return None
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == qualname:
+            return node
+    return None
+
+
+def _emitted_fields(fn: ast.FunctionDef) -> Set[str]:
+    """String keys the function emits into its JSON payload.
+
+    Three emission idioms are recognized — dict-literal keys,
+    ``obj.update(key=...)`` keywords, and ``obj["key"] = ...``
+    assignments — which covers every serializer in the tree (and is the
+    idiom set new serializers must stick to for drift protection to see
+    them).
+    """
+    fields: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    fields.add(key.value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "update":
+                for kw in node.keywords:
+                    if kw.arg is not None:
+                        fields.add(kw.arg)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    fields.add(target.slice.value)
+    return fields
+
+
+def _format_version(module: ModuleFile) -> Optional[Tuple[int, int]]:
+    """The module-level ``FORMAT_VERSION`` value and its line, if present."""
+    if module.tree is None:
+        return None
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "FORMAT_VERSION":
+                    if isinstance(node.value, ast.Constant) and isinstance(
+                        node.value.value, int
+                    ):
+                        return (node.value.value, node.lineno)
+    return None
+
+
+def _source_in_project(project: Project, source: SchemaSource) -> bool:
+    """Whether any module of this source is loaded (partial-lint guard)."""
+    if project.module(source.version_module) is not None:
+        return True
+    return any(
+        project.module(module_name) is not None
+        for module_name, _ in source.functions
+    )
+
+
+def _extract_source(
+    project: Project, source: SchemaSource
+) -> Dict[str, object]:
+    """One source's ``{"version": int, "fields": [...]}``.
+
+    Raises:
+        SchemaExtractionError: when a source module/function is missing
+            from the project or lacks ``FORMAT_VERSION`` — the sources
+            list is then out of sync with the code, which is itself a
+            finding for the drift rule.
+    """
+    fields: Set[str] = set()
+    for module_name, qualnames in source.functions:
+        module = project.module(module_name)
+        if module is None or module.tree is None:
+            raise SchemaExtractionError(
+                f"schema source module {module_name!r} is not in the "
+                f"linted project"
+            )
+        for qualname in qualnames:
+            fn = _find_function(module.tree, qualname)
+            if fn is None:
+                raise SchemaExtractionError(
+                    f"schema source {module_name}.{qualname} not found"
+                )
+            fields |= _emitted_fields(fn)
+    version_module = project.module(source.version_module)
+    if version_module is None:
+        raise SchemaExtractionError(
+            f"version module {source.version_module!r} is not in the "
+            f"linted project"
+        )
+    version = _format_version(version_module)
+    if version is None:
+        raise SchemaExtractionError(
+            f"{source.version_module} has no integer FORMAT_VERSION"
+        )
+    return {"version": version[0], "fields": sorted(fields)}
+
+
+def extract_schemas(project: Project) -> Dict[str, Dict[str, object]]:
+    """Extract every schema source's field set and version from a project.
+
+    Returns:
+        ``{name: {"version": int, "fields": [sorted str, ...]}}``.
+
+    Raises:
+        SchemaExtractionError: when a source module/function is missing
+            from the project or lacks ``FORMAT_VERSION``.
+    """
+    return {
+        source.name: _extract_source(project, source)
+        for source in SCHEMA_SOURCES
+    }
+
+
+def load_manifest(path: str) -> Dict[str, Dict[str, object]]:
+    """Read the checked-in manifest; empty when the file does not exist."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    schemas = data.get("schemas", {})
+    if not isinstance(schemas, dict):
+        raise ValueError(f"{path}: manifest 'schemas' must be an object")
+    return schemas
+
+
+def update_manifest(
+    project: Project, path: Optional[str] = None
+) -> Dict[str, Dict[str, object]]:
+    """Regenerate the manifest from the project (``--update-schemas``)."""
+    path = path or DEFAULT_MANIFEST_PATH
+    schemas = extract_schemas(project)
+    payload = {
+        "_comment": (
+            "Serialized-schema manifest checked by the schema-drift lint "
+            "rule. Regenerate with `repro lint --update-schemas` AFTER "
+            "bumping the owning FORMAT_VERSION."
+        ),
+        "schemas": schemas,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return schemas
+
+
+class SchemaDriftRule(Rule):
+    """Serialized fields must not change without a FORMAT_VERSION bump.
+
+    Compares the field sets extracted from the encoder ASTs against the
+    checked-in manifest. Any difference while the version is unchanged is
+    the drift this rule exists to catch; a version change alone flags the
+    manifest as stale (regenerate it — that is the explicit second step
+    that makes the bump deliberate).
+    """
+
+    name = "schema-drift"
+    description = "serialized field changes require a FORMAT_VERSION bump"
+
+    def __init__(self, manifest_path: Optional[str] = None) -> None:
+        self.manifest_path = manifest_path or DEFAULT_MANIFEST_PATH
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        # Partial lints (``repro lint some/dir``) skip sources whose
+        # modules are entirely out of scope; a source with *some* modules
+        # loaded but not all is still an extraction error below.
+        sources = [
+            source
+            for source in SCHEMA_SOURCES
+            if _source_in_project(project, source)
+        ]
+        if not sources:
+            return
+        current: Dict[str, Dict[str, object]] = {}
+        failed = False
+        for source in sources:
+            try:
+                current[source.name] = _extract_source(project, source)
+            except SchemaExtractionError as exc:
+                failed = True
+                anchor = self._anchor(project, source)
+                yield Finding(
+                    rule=self.name,
+                    path=anchor[0],
+                    line=anchor[1],
+                    message=str(exc),
+                )
+        if failed:
+            return
+        try:
+            manifest = load_manifest(self.manifest_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            yield Finding(
+                rule=self.name,
+                path=self.manifest_path,
+                line=1,
+                message=f"unreadable schema manifest: {exc}",
+            )
+            return
+        if not manifest:
+            yield Finding(
+                rule=self.name,
+                path=self.manifest_path,
+                line=1,
+                message=(
+                    "schema manifest is missing; run "
+                    "`repro lint --update-schemas` to create it"
+                ),
+            )
+            return
+
+        for source in sources:
+            got = current[source.name]
+            anchor = self._anchor(project, source)
+            want = manifest.get(source.name)
+            if want is None:
+                yield Finding(
+                    rule=self.name,
+                    path=anchor[0],
+                    line=anchor[1],
+                    message=(
+                        f"schema {source.name!r} is not in the manifest; run "
+                        f"`repro lint --update-schemas`"
+                    ),
+                )
+                continue
+            same_fields = sorted(got["fields"]) == sorted(want.get("fields", []))  # type: ignore[arg-type]
+            same_version = got["version"] == want.get("version")
+            if same_fields and same_version:
+                continue
+            if not same_fields and same_version:
+                added = sorted(set(got["fields"]) - set(want.get("fields", [])))  # type: ignore[arg-type]
+                removed = sorted(set(want.get("fields", [])) - set(got["fields"]))  # type: ignore[arg-type]
+                detail = "; ".join(
+                    part
+                    for part in (
+                        f"added: {', '.join(added)}" if added else "",
+                        f"removed: {', '.join(removed)}" if removed else "",
+                    )
+                    if part
+                )
+                yield Finding(
+                    rule=self.name,
+                    path=anchor[0],
+                    line=anchor[1],
+                    message=(
+                        f"serialized fields of schema {source.name!r} changed "
+                        f"without a FORMAT_VERSION bump ({detail}); bump "
+                        f"FORMAT_VERSION in {source.version_module} and run "
+                        f"`repro lint --update-schemas`"
+                    ),
+                )
+            else:
+                yield Finding(
+                    rule=self.name,
+                    path=anchor[0],
+                    line=anchor[1],
+                    message=(
+                        f"manifest for schema {source.name!r} is stale "
+                        f"(version {want.get('version')} -> {got['version']}"
+                        f"{'' if same_fields else ', fields changed'}); run "
+                        f"`repro lint --update-schemas`"
+                    ),
+                )
+        for name in sorted(set(manifest) - {s.name for s in SCHEMA_SOURCES}):
+            yield Finding(
+                rule=self.name,
+                path=self.manifest_path,
+                line=1,
+                message=(
+                    f"manifest schema {name!r} has no source; run "
+                    f"`repro lint --update-schemas`"
+                ),
+            )
+
+    def _anchor(
+        self, project: Project, source: Optional[SchemaSource]
+    ) -> Tuple[str, int]:
+        """Best file/line to attach a finding to: the FORMAT_VERSION line."""
+        if source is not None:
+            module = project.module(source.version_module)
+            if module is not None:
+                version = _format_version(module)
+                return (module.path, version[1] if version else 1)
+        return (self.manifest_path, 1)

@@ -82,5 +82,5 @@ class TestSplitIntervals:
         assert len(intervals) == parts
         assert intervals[0][0] == start
         assert intervals[-1][1] == pytest.approx(start + width)
-        for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+        for (_a0, a1), (b0, _b1) in zip(intervals, intervals[1:]):
             assert a1 == pytest.approx(b0)

@@ -73,7 +73,7 @@ def test_any_fault_combination_yields_wellformed_report(
         assert change.direction in ("added", "removed", "shifted")
     for problem in report.problems:
         assert 0.0 <= problem.score <= 1.0
-    for component, score in report.component_ranking:
+    for _component, score in report.component_ranking:
         assert score > 0
     # The report always serializes.
     assert report.to_json()

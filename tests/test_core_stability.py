@@ -34,7 +34,7 @@ class TestAssessStability:
     def test_steady_workload_all_stable(self):
         verdicts = assess_stability(lab_log())
         assert verdicts
-        for (key, kind), stable in verdicts.items():
+        for (_key, kind), stable in verdicts.items():
             assert stable, f"{kind} flagged unstable under steady workload"
 
     @pytest.mark.slow

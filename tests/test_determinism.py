@@ -1,0 +1,91 @@
+"""Regression: same-seed simulations are byte-identical across processes.
+
+FlowDiff diffs a capture against a baseline recorded earlier; if the
+simulator itself were nondeterministic, L1/L2 differences would reflect
+the run rather than the network. The ``determinism`` lint rule bans the
+shared-state RNG patterns that break this statically; this test proves
+the end-to-end property the rule protects: two ``repro simulate`` runs
+with the same seed — in separate interpreter processes, with *different*
+``PYTHONHASHSEED`` values so set/dict iteration order cannot leak into
+the capture — write byte-identical logs.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+DURATION = "8.0"
+
+
+def simulate(out_path, seed, hashseed):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = str(hashseed)
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "simulate",
+            "--seed",
+            str(seed),
+            "--duration",
+            DURATION,
+            "--out",
+            str(out_path),
+        ],
+        check=True,
+        env=env,
+        capture_output=True,
+    )
+    with open(out_path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
+@pytest.mark.slow
+def test_same_seed_runs_are_byte_identical(tmp_path):
+    first = simulate(tmp_path / "a.jsonl", seed=5, hashseed=1)
+    second = simulate(tmp_path / "b.jsonl", seed=5, hashseed=2)
+    assert first == second
+
+
+@pytest.mark.slow
+def test_different_seeds_diverge(tmp_path):
+    first = simulate(tmp_path / "a.jsonl", seed=5, hashseed=1)
+    other = simulate(tmp_path / "c.jsonl", seed=6, hashseed=1)
+    assert first != other
+
+
+@pytest.mark.slow
+def test_fault_injection_is_deterministic_too(tmp_path):
+    def run(path, hashseed):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = str(hashseed)
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "simulate",
+                "--seed",
+                "7",
+                "--duration",
+                DURATION,
+                "--fault",
+                "cpu",
+                "--out",
+                str(path),
+            ],
+            check=True,
+            env=env,
+            capture_output=True,
+        )
+        with open(path, "rb") as fh:
+            return hashlib.sha256(fh.read()).hexdigest()
+
+    assert run(tmp_path / "a.jsonl", 1) == run(tmp_path / "b.jsonl", 2)

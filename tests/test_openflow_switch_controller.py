@@ -118,7 +118,7 @@ class TestController:
     def test_load_factor_grows_with_arrival_rate(self):
         ctrl = self.make(base_response=0.001, response_jitter=0.0, capacity=100.0)
         # Saturate the load window.
-        for i in range(200):
+        for _ in range(200):
             ctrl._recent_arrivals.append(1.0)
         loaded = ctrl.response_time(1.0)
         idle = ControllerConfig().base_response

@@ -1,0 +1,226 @@
+"""Tests for the flowlint engine: pragmas, dispatch, reporters."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.qa.framework import (
+    Finding,
+    LintEngine,
+    ModuleFile,
+    Project,
+    Rule,
+    dotted_call_name,
+    import_aliases,
+    render_json,
+    render_text,
+)
+
+
+def module(source, path="src/repro/fake/mod.py", name="repro.fake.mod"):
+    return ModuleFile(path, textwrap.dedent(source), module=name)
+
+
+class AlwaysFire(Rule):
+    """Flags every module on line 1 — a probe for engine plumbing."""
+
+    name = "always"
+    description = "fires once per module"
+
+    def check_module(self, mod):
+        yield Finding(rule=self.name, path=mod.path, line=1, message="fired")
+
+
+class FlagLine(Rule):
+    name = "flag-line"
+    description = "fires on a configured line"
+
+    def __init__(self, line):
+        self.line = line
+
+    def check_module(self, mod):
+        yield Finding(
+            rule=self.name, path=mod.path, line=self.line, message="fired"
+        )
+
+
+class TestModuleFile:
+    def test_module_name_inferred_from_path(self):
+        mod = ModuleFile("src/repro/netsim/engine.py", "x = 1")
+        assert mod.module == "repro.netsim.engine"
+
+    def test_package_init_maps_to_package_name(self):
+        mod = ModuleFile("src/repro/qa/__init__.py", "x = 1")
+        assert mod.module == "repro.qa"
+
+    def test_in_package_matches_exact_and_children(self):
+        mod = ModuleFile("src/repro/netsim/engine.py", "x = 1")
+        assert mod.in_package(("repro.netsim",))
+        assert mod.in_package(("repro.netsim.engine",))
+        assert not mod.in_package(("repro.net",))
+
+    def test_parse_error_is_captured_not_raised(self):
+        mod = module("def broken(:\n")
+        assert mod.tree is None
+        assert mod.parse_error is not None
+
+
+class TestPragmas:
+    def test_line_pragma_parsed_with_justification(self):
+        mod = module(
+            """\
+            import time
+            t = time.time()  # flowlint: disable=sim-clock -- telemetry only
+            """
+        )
+        (pragma,) = mod.pragmas()
+        assert pragma.line == 2
+        assert not pragma.file_wide
+        assert pragma.rules == ("sim-clock",)
+        assert pragma.justification == "telemetry only"
+
+    def test_file_pragma_and_multiple_rules(self):
+        mod = module(
+            """\
+            # flowlint: disable-file=determinism,sim-clock -- fuzz harness
+            x = 1
+            """
+        )
+        (pragma,) = mod.pragmas()
+        assert pragma.file_wide
+        assert set(pragma.rules) == {"determinism", "sim-clock"}
+
+    def test_pragma_text_inside_docstring_is_ignored(self):
+        mod = module(
+            '''\
+            """Docs show ``# flowlint: disable=sim-clock`` as an example."""
+            x = 1
+            '''
+        )
+        assert mod.pragmas() == []
+
+    def test_unjustified_pragma_is_a_finding(self):
+        mod = module("x = 1  # flowlint: disable=always\n")
+        result = LintEngine([AlwaysFire()]).run(Project([mod]))
+        rules = [f.rule for f in result.findings]
+        assert "pragma-justification" in rules
+
+
+class TestEngine:
+    def test_line_pragma_suppresses_only_its_line(self):
+        mod = module(
+            """\
+            a = 1  # flowlint: disable=flag-line -- known exception
+            b = 2
+            """
+        )
+        hit = LintEngine([FlagLine(2)]).run(Project([mod]))
+        assert [f.rule for f in hit.findings] == ["flag-line"]
+        missed = LintEngine([FlagLine(1)]).run(Project([mod]))
+        assert missed.findings == []
+        assert missed.suppressed == 1
+
+    def test_file_pragma_suppresses_everywhere(self):
+        mod = module(
+            """\
+            # flowlint: disable-file=flag-line -- whole file exempt
+            a = 1
+            """
+        )
+        result = LintEngine([FlagLine(2)]).run(Project([mod]))
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        mod = module("a = 1  # flowlint: disable=other -- wrong rule\n")
+        result = LintEngine([FlagLine(1)]).run(Project([mod]))
+        assert [f.rule for f in result.findings] == ["flag-line"]
+
+    def test_syntax_error_becomes_parse_error_finding(self):
+        good = module("x = 1\n", path="a.py", name="repro.fake.a")
+        bad = module("def broken(:\n", path="b.py", name="repro.fake.b")
+        result = LintEngine([AlwaysFire()]).run(Project([good, bad]))
+        by_rule = {f.rule for f in result.findings}
+        assert "parse-error" in by_rule
+        # The good module is still linted.
+        assert any(f.rule == "always" and f.path == "a.py" for f in result.findings)
+
+    def test_findings_sorted_by_path_line_rule(self):
+        mods = [
+            module("x = 1\n", path="z.py", name="repro.fake.z"),
+            module("x = 1\n", path="a.py", name="repro.fake.a"),
+        ]
+        result = LintEngine([AlwaysFire()]).run(Project(mods))
+        assert [f.path for f in result.findings] == ["a.py", "z.py"]
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValueError):
+            LintEngine([AlwaysFire(), AlwaysFire()])
+
+    def test_empty_rule_name_rejected(self):
+        with pytest.raises(ValueError):
+            LintEngine([Rule()])
+
+
+class TestReporters:
+    def test_text_report_is_editor_clickable(self):
+        result = LintEngine([AlwaysFire()]).run(
+            Project([module("x = 1\n", path="m.py", name="repro.fake.m")])
+        )
+        text = render_text(result)
+        assert "m.py:1: [always] fired" in text
+
+    def test_clean_text_report_says_clean(self):
+        result = LintEngine([]).run(Project([module("x = 1\n")]))
+        assert render_text(result).startswith("clean:")
+
+    def test_json_report_round_trips(self):
+        mod = module(
+            "x = 1  # flowlint: disable=nothing -- documented\n",
+            path="m.py",
+            name="repro.fake.m",
+        )
+        result = LintEngine([AlwaysFire()]).run(Project([mod]))
+        payload = json.loads(render_json(result))
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "always"
+        assert payload["pragmas"][0]["justification"] == "documented"
+
+
+class TestAstHelpers:
+    def test_import_aliases_cover_the_forms(self):
+        mod = module(
+            """\
+            import time
+            import datetime as dt
+            import os.path
+            from time import perf_counter as pc
+            from random import random
+            """
+        )
+        aliases = import_aliases(mod.tree)
+        assert aliases["time"] == "time"
+        assert aliases["dt"] == "datetime"
+        assert aliases["os"] == "os"
+        assert aliases["pc"] == "time.perf_counter"
+        assert aliases["random"] == "random.random"
+
+    def test_dotted_call_name_resolves_through_aliases(self):
+        mod = module(
+            """\
+            import datetime as dt
+            from time import perf_counter as pc
+            a = pc()
+            b = dt.datetime.now()
+            c = (lambda: 0)()
+            """
+        )
+        aliases = import_aliases(mod.tree)
+        import ast
+
+        calls = [n for n in ast.walk(mod.tree) if isinstance(n, ast.Call)]
+        names = {dotted_call_name(c, aliases) for c in calls}
+        assert "time.perf_counter" in names
+        assert "datetime.datetime.now" in names
+        assert None in names  # the lambda call has no dotted name

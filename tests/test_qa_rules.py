@@ -1,0 +1,424 @@
+"""Good/bad fixture pairs for every flowlint domain rule.
+
+Each rule gets a conforming fixture (no findings) and a violating one
+(the expected finding), plus a pragma-suppression case where it matters.
+The final self-check runs the full default rule set over the real source
+tree — the repository must lint clean.
+"""
+
+import os
+import textwrap
+
+from repro.qa import LintEngine, default_rules
+from repro.qa.framework import ModuleFile, Project
+from repro.qa.rules import (
+    DeterminismRule,
+    ForkSafetyRule,
+    MetricNamesRule,
+    OpenEncodingRule,
+    SignatureContractRule,
+    SimClockRule,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+
+def module(source, name="repro.netsim.fake", path=None):
+    path = path or "src/" + name.replace(".", "/") + ".py"
+    return ModuleFile(path, textwrap.dedent(source), module=name)
+
+
+def run(rule, mod):
+    return LintEngine([rule]).run(Project([mod]))
+
+
+class TestSimClock:
+    def test_engine_clock_is_clean(self):
+        mod = module(
+            """\
+            def handle(sim, pkt):
+                return sim.now + 0.5
+            """
+        )
+        assert run(SimClockRule(), mod).ok
+
+    def test_wall_clock_read_is_flagged(self):
+        mod = module(
+            """\
+            import time
+
+            def handle(pkt):
+                return time.time()
+            """
+        )
+        result = run(SimClockRule(), mod)
+        assert [f.rule for f in result.findings] == ["sim-clock"]
+        assert "time.time" in result.findings[0].message
+
+    def test_aliased_import_is_still_caught(self):
+        mod = module(
+            """\
+            from time import perf_counter as pc
+
+            def handle(pkt):
+                return pc()
+            """
+        )
+        assert not run(SimClockRule(), mod).ok
+
+    def test_outside_sim_packages_wall_clock_is_fine(self):
+        mod = module(
+            """\
+            import time
+
+            def now():
+                return time.time()
+            """,
+            name="repro.obs.metrics2",
+        )
+        assert run(SimClockRule(), mod).ok
+
+    def test_justified_pragma_suppresses(self):
+        mod = module(
+            """\
+            import time
+
+            def handle(pkt):
+                return time.perf_counter()  # flowlint: disable=sim-clock -- host-cost telemetry
+            """
+        )
+        result = run(SimClockRule(), mod)
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestDeterminism:
+    def test_seeded_instance_is_clean(self):
+        mod = module(
+            """\
+            import random
+
+            def make(seed):
+                rng = random.Random(seed)
+                return rng.choice([1, 2, 3])
+            """
+        )
+        assert run(DeterminismRule(), mod).ok
+
+    def test_global_rng_call_is_flagged(self):
+        mod = module(
+            """\
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        )
+        result = run(DeterminismRule(), mod)
+        assert [f.rule for f in result.findings] == ["determinism"]
+
+    def test_unseeded_random_instance_is_flagged(self):
+        mod = module(
+            """\
+            import random
+
+            def make():
+                return random.Random()
+            """
+        )
+        assert not run(DeterminismRule(), mod).ok
+
+    def test_outside_determinism_packages_is_fine(self):
+        mod = module(
+            """\
+            import random
+
+            def shuffle(xs):
+                random.shuffle(xs)
+            """,
+            name="repro.analysis.sampling",
+        )
+        assert run(DeterminismRule(), mod).ok
+
+
+class TestOpenEncoding:
+    def test_encoding_kwarg_is_clean(self):
+        mod = module(
+            """\
+            def read(path):
+                with open(path, encoding="utf-8") as fh:
+                    return fh.read()
+            """
+        )
+        assert run(OpenEncodingRule(), mod).ok
+
+    def test_binary_mode_is_clean(self):
+        mod = module(
+            """\
+            def read(path):
+                with open(path, "rb") as fh:
+                    return fh.read()
+            """
+        )
+        assert run(OpenEncodingRule(), mod).ok
+
+    def test_text_open_without_encoding_is_flagged(self):
+        mod = module(
+            """\
+            def read(path):
+                with open(path) as fh:
+                    return fh.read()
+            """
+        )
+        result = run(OpenEncodingRule(), mod)
+        assert [f.rule for f in result.findings] == ["open-encoding"]
+
+    def test_mode_keyword_binary_is_clean(self):
+        mod = module(
+            """\
+            def write(path, data):
+                with open(path, mode="wb") as fh:
+                    fh.write(data)
+            """
+        )
+        assert run(OpenEncodingRule(), mod).ok
+
+
+SIGNATURE_OK = """\
+    from repro.core.signatures.base import Signature
+
+    class Good(Signature):
+        def merge(self, other):
+            return self
+
+        def diff(self, other):
+            return ()
+
+        def to_dict(self):
+            return {}
+
+        @classmethod
+        def from_dict(cls, data):
+            return cls()
+    """
+
+
+class TestSignatureContract:
+    def test_complete_subclass_is_clean(self):
+        mod = module(SIGNATURE_OK, name="repro.core.signatures.fake")
+        assert run(SignatureContractRule(), mod).ok
+
+    def test_missing_methods_are_flagged(self):
+        mod = module(
+            """\
+            from repro.core.signatures.base import Signature
+
+            class Incomplete(Signature):
+                def merge(self, other):
+                    return self
+            """,
+            name="repro.core.signatures.fake",
+        )
+        result = run(SignatureContractRule(), mod)
+        (finding,) = result.findings
+        assert finding.rule == "signature-contract"
+        assert "diff" in finding.message
+        assert "from_dict" in finding.message
+
+    def test_signature_shaped_class_without_base_is_flagged(self):
+        mod = module(
+            """\
+            class Sneaky:
+                def merge(self, other):
+                    return self
+
+                def diff(self, other):
+                    return ()
+            """,
+            name="repro.core.signatures.fake",
+        )
+        result = run(SignatureContractRule(), mod)
+        (finding,) = result.findings
+        assert "does not subclass Signature" in finding.message
+
+    def test_merge_diff_outside_signatures_package_is_fine(self):
+        mod = module(
+            """\
+            class Intervals:
+                def merge(self, other):
+                    return self
+
+                def diff(self, other):
+                    return ()
+            """,
+            name="repro.analysis.intervals",
+        )
+        assert run(SignatureContractRule(), mod).ok
+
+
+class TestForkSafety:
+    def test_module_level_worker_is_clean(self):
+        mod = module(
+            """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _work(i):
+                return i * 2
+
+            def run_all(n):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(_work, range(n)))
+            """,
+            name="repro.core.fakepar",
+        )
+        assert run(ForkSafetyRule(), mod).ok
+
+    def test_lambda_worker_is_flagged(self):
+        mod = module(
+            """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run_all(n):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(lambda i: i * 2, range(n)))
+            """,
+            name="repro.core.fakepar",
+        )
+        result = run(ForkSafetyRule(), mod)
+        (finding,) = result.findings
+        assert "lambda" in finding.message
+
+    def test_closure_worker_is_flagged(self):
+        mod = module(
+            """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run_all(n):
+                def work(i):
+                    return i * 2
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, range(n)))
+            """,
+            name="repro.core.fakepar",
+        )
+        assert not run(ForkSafetyRule(), mod).ok
+
+    def test_worker_with_global_statement_is_flagged(self):
+        mod = module(
+            """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            _STATE = None
+
+            def _work(i):
+                global _STATE
+                _STATE = i
+                return i
+
+            def run_all(n):
+                pool = ProcessPoolExecutor()
+                return list(pool.map(_work, range(n)))
+            """,
+            name="repro.core.fakepar",
+        )
+        result = run(ForkSafetyRule(), mod)
+        (finding,) = result.findings
+        assert "global" in finding.message
+
+    def test_thread_pool_is_not_in_scope(self):
+        mod = module(
+            """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run_all(n):
+                with ThreadPoolExecutor() as pool:
+                    return list(pool.map(lambda i: i * 2, range(n)))
+            """,
+            name="repro.core.fakepar",
+        )
+        assert run(ForkSafetyRule(), mod).ok
+
+
+class TestMetricNames:
+    def test_known_metric_and_label_are_clean(self):
+        mod = module(
+            """\
+            def instrument(metrics):
+                return metrics.counter("sim_events_total", kind="packet_in")
+            """,
+            name="repro.core.fakemetrics",
+        )
+        assert run(MetricNamesRule(), mod).ok
+
+    def test_invalid_grammar_is_flagged(self):
+        mod = module(
+            """\
+            def instrument(metrics):
+                return metrics.counter("sim-events-total")
+            """,
+            name="repro.core.fakemetrics",
+        )
+        result = run(MetricNamesRule(), mod)
+        (finding,) = result.findings
+        assert "not a valid Prometheus metric name" in finding.message
+
+    def test_undeclared_metric_is_flagged(self):
+        mod = module(
+            """\
+            def instrument(metrics):
+                return metrics.gauge("totally_new_metric")
+            """,
+            name="repro.core.fakemetrics",
+        )
+        result = run(MetricNamesRule(), mod)
+        (finding,) = result.findings
+        assert "KNOWN_METRICS" in finding.message
+
+    def test_undeclared_label_is_flagged(self):
+        mod = module(
+            """\
+            def instrument(metrics):
+                return metrics.counter("sim_events_total", color="red")
+            """,
+            name="repro.core.fakemetrics",
+        )
+        result = run(MetricNamesRule(), mod)
+        (finding,) = result.findings
+        assert "KNOWN_LABELS" in finding.message
+
+    def test_dynamic_name_outside_obs_is_flagged(self):
+        mod = module(
+            """\
+            def instrument(metrics, name):
+                return metrics.counter(name)
+            """,
+            name="repro.core.fakemetrics",
+        )
+        assert not run(MetricNamesRule(), mod).ok
+
+    def test_dynamic_name_inside_obs_is_allowed(self):
+        mod = module(
+            """\
+            def rebuild(metrics, name):
+                return metrics.counter(name)
+            """,
+            name="repro.obs.fakeexport",
+        )
+        assert run(MetricNamesRule(), mod).ok
+
+
+class TestSelfCheck:
+    def test_repository_lints_clean(self):
+        """The shipped source tree passes its own lint — the CI gate."""
+        project = Project.load([REPO_SRC])
+        result = LintEngine(default_rules()).run(project)
+        assert result.ok, "\n" + "\n".join(f.render() for f in result.findings)
+
+    def test_repo_pragma_budget(self):
+        """<= 5 pragmas repo-wide, all justified, none in repro.qa."""
+        project = Project.load([REPO_SRC])
+        result = LintEngine(default_rules()).run(project)
+        assert len(result.pragmas) <= 5
+        for pragma in result.pragmas:
+            assert pragma.justification, f"unjustified pragma at {pragma.path}"
+            assert os.sep + "qa" + os.sep not in pragma.path

@@ -1,0 +1,163 @@
+"""Tests for the serialized-schema manifest and the schema-drift rule."""
+
+import json
+import os
+
+from repro.qa import LintEngine, default_rules, extract_schemas, update_manifest
+from repro.qa.framework import ModuleFile, Project
+from repro.qa.schemas import DEFAULT_MANIFEST_PATH, SchemaDriftRule
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+
+def real_project():
+    return Project.load([REPO_SRC])
+
+
+def mutate(project, module_name, old, new):
+    """A copy of the project with one module's source text edited."""
+    target = project.module(module_name)
+    assert target is not None
+    assert old in target.source, f"{old!r} not found in {module_name}"
+    modules = [
+        m
+        if m.module != module_name
+        else ModuleFile(m.path, m.source.replace(old, new), module=m.module)
+        for m in project.modules
+    ]
+    return Project(modules)
+
+
+def drift_findings(project, manifest_path=None):
+    rule = SchemaDriftRule(manifest_path=manifest_path)
+    return list(rule.check_project(project))
+
+
+class TestExtraction:
+    def test_capture_schema_covers_control_message_fields(self):
+        schemas = extract_schemas(real_project())
+        fields = set(schemas["capture"]["fields"])
+        # Spot-check the fields every ControlMessage serializes plus a
+        # per-type one from each idiom (dict literal and .update kwargs).
+        assert {"type", "ts", "dpid", "corr", "match", "priority"} <= fields
+
+    def test_model_schema_covers_signature_components(self):
+        schemas = extract_schemas(real_project())
+        fields = set(schemas["model"]["fields"])
+        assert {"version", "app_signatures", "infrastructure", "edges"} <= fields
+
+    def test_versions_match_the_source_constants(self):
+        from repro.core import persist
+        from repro.core.tasks import serialize as tasks_serialize
+        from repro.openflow import serialize as capture_serialize
+
+        schemas = extract_schemas(real_project())
+        assert schemas["capture"]["version"] == capture_serialize.FORMAT_VERSION
+        assert schemas["model"]["version"] == persist.FORMAT_VERSION
+        assert schemas["tasks"]["version"] == tasks_serialize.FORMAT_VERSION
+
+
+class TestManifest:
+    def test_checked_in_manifest_matches_the_tree(self):
+        """The committed schemas.json is exactly what the code extracts."""
+        with open(DEFAULT_MANIFEST_PATH, encoding="utf-8") as fh:
+            manifest = json.load(fh)["schemas"]
+        assert manifest == extract_schemas(real_project())
+
+    def test_update_manifest_round_trips(self, tmp_path):
+        path = str(tmp_path / "schemas.json")
+        written = update_manifest(real_project(), path)
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh)["schemas"] == written
+
+    def test_missing_manifest_is_a_finding(self, tmp_path):
+        findings = drift_findings(
+            real_project(), manifest_path=str(tmp_path / "absent.json")
+        )
+        assert any("missing" in f.message for f in findings)
+
+    def test_orphan_manifest_entry_is_a_finding(self, tmp_path):
+        path = str(tmp_path / "schemas.json")
+        update_manifest(real_project(), path)
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        payload["schemas"]["ghost"] = {"version": 1, "fields": []}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        findings = drift_findings(real_project(), manifest_path=path)
+        assert any("ghost" in f.message for f in findings)
+
+
+class TestDrift:
+    def test_clean_tree_has_no_drift(self):
+        assert drift_findings(real_project()) == []
+
+    def test_renamed_control_message_field_without_bump_fails(self):
+        """The acceptance demo: edit a serialized ControlMessage field and
+        leave FORMAT_VERSION alone — lint must fail."""
+        mutated = mutate(
+            real_project(),
+            "repro.openflow.serialize",
+            '"dpid": message.dpid',
+            '"switch_id": message.dpid',
+        )
+        findings = drift_findings(mutated)
+        (finding,) = [f for f in findings if "capture" in f.message]
+        assert "without a FORMAT_VERSION bump" in finding.message
+        assert "switch_id" in finding.message and "dpid" in finding.message
+
+    def test_added_field_without_bump_fails_full_engine(self):
+        """Same demo through the full default rule set (as CI runs it)."""
+        mutated = mutate(
+            real_project(),
+            "repro.openflow.serialize",
+            'out.update(replied=message.replied)',
+            'out.update(replied=message.replied, retries=0)',
+        )
+        result = LintEngine(default_rules()).run(mutated)
+        assert not result.ok
+        assert any(f.rule == "schema-drift" for f in result.findings)
+
+    def test_bump_with_stale_manifest_says_regenerate(self):
+        mutated = mutate(
+            real_project(),
+            "repro.openflow.serialize",
+            "FORMAT_VERSION = 1",
+            "FORMAT_VERSION = 2",
+        )
+        findings = drift_findings(mutated)
+        (finding,) = findings
+        assert "stale" in finding.message
+        assert "--update-schemas" in finding.message
+
+    def test_bump_plus_regenerated_manifest_is_clean(self, tmp_path):
+        mutated = mutate(
+            real_project(),
+            "repro.openflow.serialize",
+            '"dpid": message.dpid',
+            '"switch_id": message.dpid',
+        )
+        bumped = mutate(
+            mutated,
+            "repro.openflow.serialize",
+            "FORMAT_VERSION = 1",
+            "FORMAT_VERSION = 2",
+        )
+        path = str(tmp_path / "schemas.json")
+        update_manifest(bumped, path)
+        assert drift_findings(bumped, manifest_path=path) == []
+
+    def test_partial_lint_skips_out_of_scope_sources(self):
+        """Linting a subtree without the serializers raises no drift noise."""
+        qa_only = Project.load([os.path.join(REPO_SRC, "qa")])
+        assert drift_findings(qa_only) == []
+
+    def test_tasks_schema_drift_detected_too(self):
+        mutated = mutate(
+            real_project(),
+            "repro.core.tasks.serialize",
+            '"min_sup": sig.min_sup',
+            '"support_floor": sig.min_sup',
+        )
+        findings = drift_findings(mutated)
+        assert any("tasks" in f.message for f in findings)

@@ -107,7 +107,7 @@ class TestMiningMechanics:
     @settings(max_examples=50)
     def test_support_threshold_respected(self, runs, min_sup):
         freq = frequent_contiguous_patterns(runs, min_sup=min_sup)
-        for pattern, support in freq.items():
+        for _pattern, support in freq.items():
             assert support >= min_sup * len(runs) - 1e-9
 
     @given(
