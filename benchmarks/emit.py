@@ -72,6 +72,60 @@ def run_obs_overhead_bench(
     }
 
 
+def run_ingest_bench(
+    seed: int = BENCH_SEED,
+    duration: float = BENCH_DURATION,
+    repeats: int = 5,
+    raw_samples: int = 200_000,
+) -> Dict[str, Any]:
+    """Benchmark the data-plane telemetry path three ways.
+
+    * ``raw_samples_per_s`` — tight-loop ingest into one held
+      :class:`ComponentSeries` (the hot-path upper bound: one sample =
+      one window fold, no dict lookup).
+    * ``messages_per_s`` — end-to-end simulation throughput with the
+      plane enabled, in control messages per wall second.
+    * ``overhead_pct`` — telemetry-enabled vs ``NOOP_TELEMETRY``
+      simulation time, best-of-``repeats`` interleaved (same discipline
+      as :func:`run_obs_overhead_bench`); asserted <5% by the microbench
+      suite, because :class:`NoopTelemetry` is the production default and
+      turning the plane on must never be a scary decision.
+    """
+    from repro.obs.telemetry import NOOP_TELEMETRY, TelemetryPlane
+    from repro.scenarios import three_tier_lab
+
+    def one_run(telemetry: Any) -> float:
+        scenario = three_tier_lab(seed=seed, telemetry=telemetry)
+        started = time.perf_counter()
+        one_run.messages = len(scenario.run(0.5, duration))
+        return time.perf_counter() - started
+
+    one_run(NOOP_TELEMETRY)  # warm-up: imports, allocator, caches
+    # Interleave so host noise lands on both legs (see parallel bench).
+    off_s = on_s = float("inf")
+    for _ in range(max(1, repeats)):
+        off_s = min(off_s, one_run(NOOP_TELEMETRY))
+        on_s = min(on_s, one_run(TelemetryPlane()))
+    messages = one_run.messages
+
+    plane = TelemetryPlane()
+    series = plane.series("link", "a--b", "utilization")
+    started = time.perf_counter()
+    for i in range(raw_samples):
+        series.record(i * 1e-3, 0.5)
+    raw_s = time.perf_counter() - started
+
+    return {
+        "raw_samples_per_s": round(raw_samples / raw_s) if raw_s else 0,
+        "messages": messages,
+        "messages_per_s": round(messages / on_s) if on_s else 0,
+        "telemetry_off_s": round(off_s, 6),
+        "telemetry_on_s": round(on_s, 6),
+        "overhead_pct": round((on_s / off_s - 1.0) * 100.0, 3) if off_s else 0.0,
+        "repeats": repeats,
+    }
+
+
 def run_parallel_cache_bench(repeats: int = 7) -> Dict[str, Any]:
     """Benchmark the sharded parallel pipeline and the model cache.
 
@@ -188,6 +242,7 @@ def run_pipeline_bench(
         "phases": {name: round(seconds, 6) for name, seconds in sorted(best.items())},
         "total_s": round(best.get("model", 0.0) + best.get("diff", 0.0), 6),
         "obs_overhead": run_obs_overhead_bench(log=log),
+        "telemetry": run_ingest_bench(seed=seed, duration=duration),
         "parallel": run_parallel_cache_bench(),
         "python": platform.python_version(),
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),

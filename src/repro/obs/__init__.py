@@ -22,6 +22,15 @@ costs nothing measurable:
 * :mod:`repro.obs.alerts` — streaming alert rules (threshold, EWMA drift,
   consecutive unhealthy windows, problem class) and the deduping
   :class:`AlertEngine` behind ``repro monitor``.
+* :mod:`repro.obs.telemetry` — the data-plane telemetry plane: bounded
+  per-component time series (link utilization/drops, table occupancy,
+  controller latency, RPC latency) with ring-buffered window rollups;
+  :data:`NOOP_TELEMETRY` is the do-nothing default.
+* :mod:`repro.obs.heatmap` — self-contained HTML topology heatmaps of a
+  telemetry plane (links by utilization/drops, switches by table
+  pressure).
+* :mod:`repro.obs.httpd` — the read-only ops HTTP endpoint
+  (``/healthz``, ``/metrics``, ``/telemetry``, ``/alerts``).
 
 Typical instrumented run::
 
@@ -45,7 +54,9 @@ from repro.obs.alerts import (
     ThresholdRule,
     UnhealthyWindowsRule,
     default_rules,
+    metric_matches,
     read_alerts_jsonl,
+    telemetry_rules,
     write_alerts_jsonl,
 )
 from repro.obs.export import (
@@ -62,6 +73,8 @@ from repro.obs.flightrec import (
     TimelineEvent,
     reconstruct,
 )
+from repro.obs.heatmap import heatmap_to_html, save_heatmap, topology_heatmap_svg
+from repro.obs.httpd import ObsHTTPServer, ObsState
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     NOOP_REGISTRY,
@@ -72,6 +85,17 @@ from repro.obs.metrics import (
     NoopRegistry,
 )
 from repro.obs.profile import phase_rows, phase_timings, render_phase_table
+from repro.obs.telemetry import (
+    NOOP_TELEMETRY,
+    ComponentSeries,
+    NoopTelemetry,
+    TelemetryPlane,
+    WindowStat,
+    iter_telemetry_events,
+    plane_from_events,
+    render_tables,
+    telemetry_registry,
+)
 from repro.obs.stats import (
     LogSummary,
     record_log_metrics,
@@ -83,10 +107,12 @@ from repro.obs.tracing import NOOP_TRACER, NoopTracer, Span, Tracer
 __all__ = [
     "DEFAULT_BUCKETS",
     "NOOP_REGISTRY",
+    "NOOP_TELEMETRY",
     "NOOP_TRACER",
     "Alert",
     "AlertEngine",
     "AlertRule",
+    "ComponentSeries",
     "Counter",
     "EwmaDriftRule",
     "FlightRecorder",
@@ -96,28 +122,42 @@ __all__ = [
     "LogSummary",
     "MetricsRegistry",
     "NoopRegistry",
+    "NoopTelemetry",
     "NoopTracer",
+    "ObsHTTPServer",
+    "ObsState",
     "ProblemClassRule",
     "Severity",
     "Span",
+    "TelemetryPlane",
     "ThresholdRule",
     "TimelineEvent",
     "Tracer",
     "UnhealthyWindowsRule",
+    "WindowStat",
     "default_rules",
+    "heatmap_to_html",
     "iter_metric_events",
     "iter_span_events",
+    "iter_telemetry_events",
+    "metric_matches",
     "metrics_from_events",
     "phase_rows",
     "phase_timings",
+    "plane_from_events",
     "read_alerts_jsonl",
     "read_jsonl",
     "reconstruct",
     "render_phase_table",
     "render_prometheus",
     "render_summary",
+    "render_tables",
     "record_log_metrics",
+    "save_heatmap",
     "summarize_log",
+    "telemetry_registry",
+    "telemetry_rules",
+    "topology_heatmap_svg",
     "write_alerts_jsonl",
     "write_jsonl",
 ]

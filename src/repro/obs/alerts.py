@@ -45,6 +45,7 @@ from typing import (
 )
 
 from repro.obs.metrics import NOOP_REGISTRY, Counter, Gauge, MetricsRegistry
+from repro.obs.telemetry import TelemetryPlane
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (monitor imports obs)
     from repro.core.monitor import WindowReport
@@ -93,6 +94,19 @@ class Alert:
         }
 
 
+def metric_matches(watched: str, sample_name: str) -> bool:
+    """Whether the sample stream ``sample_name`` falls under ``watched``.
+
+    Exact match, or — when ``watched`` carries no label set of its own —
+    any labeled variant ``watched{k=v,...}``. This is what lets one rule
+    watch a whole telemetry family (every link's utilization) while a
+    labeled rule pins a single component.
+    """
+    return sample_name == watched or (
+        "{" not in watched and sample_name.startswith(watched + "{")
+    )
+
+
 class AlertRule:
     """Base rule: subclasses override one (or both) observe hooks.
 
@@ -139,7 +153,11 @@ class ThresholdRule(AlertRule):
     """Fire when a named metric crosses a fixed bound.
 
     Args:
-        metric: metric name to watch (as fed to the engine).
+        metric: metric name to watch (as fed to the engine). A bare name
+            also matches every labeled variant of itself — the engine
+            feeds registry and telemetry samples as ``name{k=v,...}``, so
+            ``telemetry_link_utilization`` watches *all* links while
+            ``telemetry_link_utilization{component=a--b}`` pins one.
         threshold: the bound.
         op: ``">"``, ``">="``, ``"<"``, or ``"<="``.
     """
@@ -170,7 +188,9 @@ class ThresholdRule(AlertRule):
         self.op = op
 
     def observe_metric(self, name: str, value: float, at: float) -> List[Alert]:
-        if name != self.metric or not self._OPS[self.op](value, self.threshold):
+        if not metric_matches(self.metric, name) or not self._OPS[self.op](
+            value, self.threshold
+        ):
             return []
         return [
             self._alert(
@@ -186,10 +206,13 @@ class EwmaDriftRule(AlertRule):
     """Fire when a metric drifts ``k`` sigmas from its EWMA.
 
     Maintains an exponentially weighted mean and variance per metric
-    sample stream; after ``warmup`` samples, a value further than
-    ``k * sqrt(var)`` (and at least ``min_delta``) from the mean alerts.
-    The tripping sample still updates the EWMA, so a new steady state
-    eventually stops alerting — drift detection, not threshold pinning.
+    sample stream — each labeled variant (``name{component=...}``) gets
+    its own independent baseline, so one rule can watch a telemetry
+    family without cross-contaminating per-component statistics. After
+    ``warmup`` samples, a value further than ``k * sqrt(var)`` (and at
+    least ``min_delta``) from the stream's mean alerts. The tripping
+    sample still updates the EWMA, so a new steady state eventually stops
+    alerting — drift detection, not threshold pinning.
     """
 
     def __init__(
@@ -211,38 +234,36 @@ class EwmaDriftRule(AlertRule):
         self.k = k
         self.warmup = max(1, warmup)
         self.min_delta = min_delta
-        self._mean: Optional[float] = None
-        self._var = 0.0
-        self._n = 0
+        #: Per-sample-stream [mean, var, n] state.
+        self._state: Dict[str, List[float]] = {}
 
     def observe_metric(self, name: str, value: float, at: float) -> List[Alert]:
-        if name != self.metric:
+        if not metric_matches(self.metric, name):
             return []
         fired: List[Alert] = []
-        if self._mean is None:
-            self._mean = value
-        else:
-            delta = value - self._mean
-            sigma = self._var ** 0.5
-            if (
-                self._n >= self.warmup
-                and abs(delta) > max(self.k * sigma, self.min_delta)
-            ):
-                fired.append(
-                    self._alert(
-                        at,
-                        f"{name} drifted to {value:g} "
-                        f"(ewma {self._mean:g}, sigma {sigma:g})",
-                        value=value,
-                        metric=name,
-                        direction="up" if delta > 0 else "down",
-                    )
+        state = self._state.get(name)
+        if state is None:
+            self._state[name] = [value, 0.0, 1.0]
+            return fired
+        mean, var, n = state
+        delta = value - mean
+        sigma = var ** 0.5
+        if n >= self.warmup and abs(delta) > max(self.k * sigma, self.min_delta):
+            fired.append(
+                self._alert(
+                    at,
+                    f"{name} drifted to {value:g} "
+                    f"(ewma {mean:g}, sigma {sigma:g})",
+                    value=value,
+                    metric=name,
+                    direction="up" if delta > 0 else "down",
                 )
-            # Standard EWM mean/variance update (West 1979 form).
-            incr = self.alpha * delta
-            self._mean += incr
-            self._var = (1.0 - self.alpha) * (self._var + delta * incr)
-        self._n += 1
+            )
+        # Standard EWM mean/variance update (West 1979 form).
+        incr = self.alpha * delta
+        state[0] = mean + incr
+        state[1] = (1.0 - self.alpha) * (var + delta * incr)
+        state[2] = n + 1.0
         return fired
 
 
@@ -338,6 +359,52 @@ def default_rules(
     ]
 
 
+def telemetry_rules(
+    utilization_threshold: float = 0.9,
+    reply_latency_threshold: float = 0.25,
+    cooldown: float = 0.0,
+) -> List[AlertRule]:
+    """The stock data-plane rule set layered over telemetry windows.
+
+    A hot-link threshold (any link whose in-window peak utilization
+    crosses ``utilization_threshold``), per-link drop-rate drift (the
+    Figure 9 ``tc`` loss fault seen from the data plane), RPC-latency
+    drift per application, and a controller reply-latency ceiling.
+    """
+    return [
+        ThresholdRule(
+            "telemetry_link_utilization_max",
+            utilization_threshold,
+            severity=Severity.WARNING,
+            cooldown=cooldown,
+            name="telemetry:hot-link",
+        ),
+        EwmaDriftRule(
+            "telemetry_link_drops",
+            warmup=2,
+            min_delta=0.5,
+            severity=Severity.WARNING,
+            cooldown=cooldown,
+            name="telemetry:drop-drift",
+        ),
+        EwmaDriftRule(
+            "telemetry_app_rpc_latency",
+            warmup=3,
+            min_delta=0.01,
+            severity=Severity.WARNING,
+            cooldown=cooldown,
+            name="telemetry:rpc-latency-drift",
+        ),
+        ThresholdRule(
+            "telemetry_controller_reply_latency_max",
+            reply_latency_threshold,
+            severity=Severity.CRITICAL,
+            cooldown=cooldown,
+            name="telemetry:controller-slow",
+        ),
+    ]
+
+
 class AlertEngine:
     """Evaluate rules over window/metric streams with dedup and export.
 
@@ -360,6 +427,11 @@ class AlertEngine:
         self._m_last = metrics.gauge("alerts_last_fired_timestamp")
         self._m_by_rule: Dict[Tuple[str, str], Union[Counter, Gauge]] = {}
         self._last_fired: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+        #: Per-telemetry-series cursor: end time of the last window fed,
+        #: so repeated :meth:`observe_telemetry` calls stream only new
+        #: windows (robust to ring eviction — evicted windows are simply
+        #: never seen, which keeps the engine O(new windows) per call).
+        self._telemetry_cursor: Dict[Tuple[str, str, str], float] = {}
 
     def add_rule(self, rule: AlertRule) -> None:
         self.rules.append(rule)
@@ -397,6 +469,58 @@ class AlertEngine:
             else:
                 fired.extend(self.observe_metric(f"{key}_count", float(metric.count), at))
                 fired.extend(self.observe_metric(f"{key}_mean", metric.mean, at))
+        return fired
+
+    def observe_telemetry(self, plane: TelemetryPlane) -> List[Alert]:
+        """Feed every newly closed telemetry window through the rules.
+
+        Each window becomes labeled samples at its end time, named like
+        registry streams so the same rule grammar applies:
+
+        * level series — ``name{component=c}`` (window mean) plus
+          ``name_p95{...}`` and ``name_max{...}``;
+        * counter series — ``name{component=c}`` (window sum) plus
+          ``name_rate{...}`` (sum over window length).
+
+        Call it repeatedly on a live plane: a per-series cursor ensures
+        each window is fed exactly once.
+        """
+        fired: List[Alert] = []
+        for series in plane:
+            key = (series.kind, series.component, series.metric)
+            cursor = self._telemetry_cursor.get(key, float("-inf"))
+            stream = f"{series.name}{{component={series.component}}}"
+            for window in series.closed_windows():
+                if window.t_end <= cursor:
+                    continue
+                cursor = window.t_end
+                at = window.t_end
+                if series.counter:
+                    fired.extend(self.observe_metric(stream, window.total, at))
+                    fired.extend(
+                        self.observe_metric(
+                            f"{series.name}_rate{{component={series.component}}}",
+                            window.rate(),
+                            at,
+                        )
+                    )
+                else:
+                    fired.extend(self.observe_metric(stream, window.mean, at))
+                    fired.extend(
+                        self.observe_metric(
+                            f"{series.name}_p95{{component={series.component}}}",
+                            window.p95,
+                            at,
+                        )
+                    )
+                    fired.extend(
+                        self.observe_metric(
+                            f"{series.name}_max{{component={series.component}}}",
+                            window.vmax,
+                            at,
+                        )
+                    )
+            self._telemetry_cursor[key] = cursor
         return fired
 
     # -- dedup / bookkeeping --------------------------------------------

@@ -15,11 +15,23 @@ Two render targets, one registry:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    TextIO,
+    Union,
+)
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.names import escape_label_value, validate_metric_name
 from repro.obs.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - avoid an import cycle at runtime
+    from repro.obs.telemetry import TelemetryPlane
 
 
 def iter_metric_events(registry: MetricsRegistry) -> Iterator[Dict[str, Any]]:
@@ -77,6 +89,7 @@ def write_jsonl(
     registry: MetricsRegistry,
     tracer: Optional[Tracer] = None,
     extra: Optional[Dict[str, Any]] = None,
+    telemetry: Optional["TelemetryPlane"] = None,
 ) -> int:
     """Write the registry (and optionally a trace) as JSON lines.
 
@@ -85,6 +98,9 @@ def write_jsonl(
         registry: the metrics to dump.
         tracer: when given, span events follow the metric events.
         extra: when given, an initial ``{"type": "meta", ...}`` line.
+        telemetry: when given, one ``telemetry_series`` event per series
+            follows (windows included); recover them with
+            :func:`~repro.obs.telemetry.plane_from_events`.
 
     Returns:
         The number of lines written.
@@ -95,6 +111,10 @@ def write_jsonl(
     events.extend(iter_metric_events(registry))
     if tracer is not None:
         events.extend(iter_span_events(tracer))
+    if telemetry is not None:
+        from repro.obs.telemetry import iter_telemetry_events
+
+        events.extend(iter_telemetry_events(telemetry))
 
     if isinstance(destination, str):
         with open(destination, "w", encoding="utf-8") as fh:

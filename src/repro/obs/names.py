@@ -25,6 +25,15 @@ from typing import FrozenSet
 METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
+#: The data-plane telemetry family: ``telemetry_<kind>_<metric>``, where
+#: ``<kind>`` is a component family of :mod:`repro.obs.telemetry`. The
+#: family is open-ended by metric (each sampled quantity mints a name at
+#: runtime from its series key), so membership is grammatical rather than
+#: enumerated — :func:`is_known_metric` accepts the whole family.
+TELEMETRY_METRIC_RE = re.compile(
+    r"^telemetry_(link|switch|controller|app|host)_[a-z][a-z0-9_]*$"
+)
+
 #: Every metric the reproduction emits, by subsystem. The ``metric-names``
 #: lint rule fails the build when a source file registers a name missing
 #: here — add the name (keep the subsystem grouping) in the same change
@@ -72,14 +81,23 @@ KNOWN_METRICS: FrozenSet[str] = frozenset(
 
 #: Label keys the manifest blesses. Kept small on purpose: a label is a
 #: cardinality commitment, so new keys are added here deliberately.
+#: ``component`` and ``stat`` belong to the telemetry family: the sampled
+#: component's identity (dpid, ``a--b`` edge, app name) and which window
+#: statistic a gauge carries (``last``/``mean``/``p95``/``min``/``max``).
 KNOWN_LABELS: FrozenSet[str] = frozenset(
-    {"kind", "role", "status", "reason", "rule", "severity"}
+    {"kind", "role", "status", "reason", "rule", "severity", "component", "stat"}
 )
 
 
 def is_valid_metric_name(name: str) -> bool:
     """Whether ``name`` is a legal Prometheus metric name."""
     return bool(METRIC_NAME_RE.match(name))
+
+
+def is_known_metric(name: str) -> bool:
+    """Whether ``name`` is declared: listed in the manifest, or a member
+    of the grammatical ``telemetry_*`` family."""
+    return name in KNOWN_METRICS or bool(TELEMETRY_METRIC_RE.match(name))
 
 
 def is_valid_label_name(name: str) -> bool:

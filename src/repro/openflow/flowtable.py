@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
+from repro.obs.telemetry import NOOP_TELEMETRY, TelemetryPlane
 from repro.openflow.match import FlowKey, Match
 from repro.openflow.messages import FlowRemovedReason
 
@@ -102,7 +103,10 @@ class FlowTable:
     """
 
     def __init__(
-        self, metrics: MetricsRegistry = NOOP_REGISTRY, dpid: str = ""
+        self,
+        metrics: MetricsRegistry = NOOP_REGISTRY,
+        dpid: str = "",
+        telemetry: TelemetryPlane = NOOP_TELEMETRY,
     ) -> None:
         self._entries: List[FlowEntry] = []
         labels = {"dpid": dpid} if dpid else {}
@@ -111,6 +115,10 @@ class FlowTable:
         self._m_installs = metrics.counter("flowtable_installs_total", **labels)
         self._m_expired = metrics.counter("flowtable_expired_total", **labels)
         self._m_occupancy = metrics.gauge("flowtable_entries", **labels)
+        # Held series (null objects under NOOP_TELEMETRY): per-switch table
+        # occupancy over time, and evictions as a windowed counter.
+        self._t_occupancy = telemetry.series("switch", dpid, "flowtable_occupancy")
+        self._t_evictions = telemetry.series("switch", dpid, "evictions", counter=True)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -128,6 +136,7 @@ class FlowTable:
         self._entries.append(entry)
         self._m_installs.inc()
         self._m_occupancy.set(len(self._entries))
+        self._t_occupancy.record(entry.created_at, float(len(self._entries)))
 
     def delete(self, match: Match) -> List[FlowEntry]:
         """Remove and return all entries whose match equals ``match``."""
@@ -175,6 +184,8 @@ class FlowTable:
         if expired:
             self._m_expired.inc(len(expired))
             self._m_occupancy.set(len(live))
+            self._t_evictions.record(now, float(len(expired)))
+            self._t_occupancy.record(now, float(len(live)))
         return expired
 
     def next_expiry(self) -> float:

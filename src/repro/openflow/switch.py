@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
+from repro.obs.telemetry import NOOP_TELEMETRY, TelemetryPlane
 from repro.openflow.flowtable import FlowEntry, FlowTable
 from repro.openflow.match import FlowKey, Match
 from repro.openflow.messages import FlowRemovedReason
@@ -49,10 +50,16 @@ class OpenFlowSwitch:
             to FlowDiff as missing control traffic and topology changes).
     """
 
-    def __init__(self, dpid: str, metrics: MetricsRegistry = NOOP_REGISTRY) -> None:
+    def __init__(
+        self,
+        dpid: str,
+        metrics: MetricsRegistry = NOOP_REGISTRY,
+        telemetry: TelemetryPlane = NOOP_TELEMETRY,
+    ) -> None:
         self.dpid = dpid
         self.metrics = metrics
-        self.table = FlowTable(metrics=metrics, dpid=dpid)
+        self.telemetry = telemetry
+        self.table = FlowTable(metrics=metrics, dpid=dpid, telemetry=telemetry)
         self.live = True
         #: Per-port cumulative byte counters, used by stats polling.
         self.port_bytes: Dict[int, int] = {}
@@ -127,7 +134,9 @@ class OpenFlowSwitch:
     def fail(self) -> None:
         """Take the switch down; its table contents are lost."""
         self.live = False
-        self.table = FlowTable(metrics=self.metrics, dpid=self.dpid)
+        self.table = FlowTable(
+            metrics=self.metrics, dpid=self.dpid, telemetry=self.telemetry
+        )
 
     def recover(self) -> None:
         """Bring the switch back with an empty table."""

@@ -15,7 +15,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.obs.names import (
     KNOWN_LABELS,
-    KNOWN_METRICS,
+    is_known_metric,
     is_valid_label_name,
     is_valid_metric_name,
 )
@@ -381,12 +381,13 @@ class MetricNamesRule(Rule):
 
     Every ``.counter(...)``/``.gauge(...)``/``.histogram(...)`` call site
     must use a string-literal name that passes the shared Prometheus
-    validator (:mod:`repro.obs.names`) *and* appears in
-    :data:`~repro.obs.names.KNOWN_METRICS`; label keyword names must be
-    valid and in :data:`~repro.obs.names.KNOWN_LABELS`. Dynamic names are
-    allowed only inside ``repro.obs`` itself (the JSONL round-trip
-    rebuilds instruments from data, where the registry still validates at
-    runtime).
+    validator (:mod:`repro.obs.names`) *and* be declared — listed in
+    :data:`~repro.obs.names.KNOWN_METRICS` or a member of the grammatical
+    ``telemetry_*`` family (:func:`~repro.obs.names.is_known_metric`);
+    label keyword names must be valid and in
+    :data:`~repro.obs.names.KNOWN_LABELS`. Dynamic names are allowed only
+    inside ``repro.obs`` itself (the JSONL round-trip rebuilds instruments
+    from data, where the registry still validates at runtime).
     """
 
     name = "metric-names"
@@ -428,14 +429,15 @@ class MetricNamesRule(Rule):
                         f"{name!r} is not a valid Prometheus metric name"
                     ),
                 )
-            elif name not in KNOWN_METRICS:
+            elif not is_known_metric(name):
                 yield Finding(
                     rule=self.name,
                     path=module.path,
                     line=call.lineno,
                     message=(
                         f"metric {name!r} is not declared in the manifest "
-                        f"(add it to KNOWN_METRICS in repro/obs/names.py)"
+                        f"(add it to KNOWN_METRICS in repro/obs/names.py, "
+                        f"or follow the telemetry_* family grammar)"
                     ),
                 )
             for kw in call.keywords:

@@ -1,0 +1,337 @@
+"""Unit tests for the data-plane telemetry plane.
+
+Three contracts are load-bearing and checked exhaustively here:
+
+* **bounded memory** — a series is a ring of closed windows plus one
+  decimating reservoir, so arbitrarily long runs cannot grow a series
+  past its configured capacity;
+* **rollup correctness** — window mean/min/max/sum/p95 must agree with a
+  numpy recomputation over the same samples (p95 is the inverted-CDF
+  order statistic, exact while the reservoir has not decimated);
+* **export round-trips** — JSONL events rebuild an equivalent plane, and
+  the Prometheus rendering survives label-escaping edge cases.
+"""
+
+import json
+import math
+
+import numpy
+import pytest
+
+from repro.obs.export import read_jsonl, render_prometheus, write_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.names import escape_label_value, is_known_metric
+from repro.obs.telemetry import (
+    NOOP_TELEMETRY,
+    ComponentSeries,
+    NoopTelemetry,
+    TelemetryPlane,
+    WindowStat,
+    iter_telemetry_events,
+    percentile_index,
+    plane_from_events,
+    telemetry_registry,
+)
+
+
+def _numpy_p95(values):
+    return float(numpy.percentile(values, 95, method="inverted_cdf"))
+
+
+# ----------------------------------------------------------------------
+# rollup correctness
+# ----------------------------------------------------------------------
+
+
+def test_window_rollups_match_numpy_recomputation():
+    rng = numpy.random.default_rng(17)
+    values = rng.uniform(0.0, 3.0, size=200).tolist()
+    series = ComponentSeries("link", "a--b", "utilization", window=10.0)
+    for i, value in enumerate(values):
+        series.record(0.01 * i, value)  # all inside [0, 10)
+    series.flush()
+
+    (window,) = series.closed_windows()
+    assert window.count == len(values)
+    assert window.total == pytest.approx(sum(values))
+    assert window.mean == pytest.approx(float(numpy.mean(values)))
+    assert window.vmin == pytest.approx(float(numpy.min(values)))
+    assert window.vmax == pytest.approx(float(numpy.max(values)))
+    assert window.last == pytest.approx(values[-1])
+    # 200 samples < the default 256-sample reservoir: p95 is exact.
+    assert window.p95 == pytest.approx(_numpy_p95(values))
+
+
+def test_percentile_index_matches_inverted_cdf():
+    rng = numpy.random.default_rng(3)
+    for n in (1, 2, 5, 19, 20, 21, 100):
+        values = sorted(rng.normal(size=n).tolist())
+        expected = _numpy_p95(values)
+        assert values[percentile_index(n, 0.95)] == pytest.approx(expected)
+
+
+def test_decimated_reservoir_p95_stays_close_and_deterministic():
+    rng = numpy.random.default_rng(5)
+    values = rng.uniform(0.0, 1.0, size=5000).tolist()
+
+    def build():
+        series = ComponentSeries(
+            "link", "a--b", "utilization", window=100.0, sample_capacity=64
+        )
+        for i, value in enumerate(values):
+            series.record(0.01 * i, value)
+        series.flush()
+        return series.closed_windows()[0]
+
+    first, second = build(), build()
+    assert first.p95 == second.p95  # decimation is deterministic
+    # The coarse estimate must still land in the distribution's tail.
+    assert abs(first.p95 - _numpy_p95(values)) < 0.05
+
+
+def test_multiple_windows_split_on_stream_time():
+    series = ComponentSeries("app", "web", "rpc_latency", window=1.0)
+    for t, v in [(0.2, 1.0), (0.7, 3.0), (1.1, 5.0), (2.5, 7.0)]:
+        series.record(t, v)
+    series.flush()
+    windows = series.closed_windows()
+    assert [w.count for w in windows] == [2, 1, 1]
+    assert [w.t_start for w in windows] == [0.0, 1.0, 2.0]
+    assert windows[0].vmax == 3.0 and windows[2].last == 7.0
+
+
+def test_counter_and_level_peaks_disagree_on_purpose():
+    counter = ComponentSeries("link", "a--b", "drops", window=1.0, counter=True)
+    level = ComponentSeries("link", "a--b", "utilization", window=1.0)
+    # Window [0,1): many small increments; window [1,2): one big spike.
+    for t in (0.1, 0.2, 0.3, 0.4):
+        counter.record(t, 2.0)
+        level.record(t, 0.3)
+    counter.record(1.5, 5.0)
+    level.record(1.5, 0.9)
+    counter.flush()
+    level.flush()
+    # The counter's worst window is the one with the largest *sum*...
+    assert counter.peak_window().t_start == 0.0
+    assert counter.peak_value() == 8.0
+    # ...the level's is the one with the largest *reading*.
+    assert level.peak_window().t_start == 1.0
+    assert level.peak_value() == 0.9
+
+
+def test_window_rate_uses_duration():
+    series = ComponentSeries("link", "a--b", "tx_bytes", window=2.0, counter=True)
+    series.record(0.5, 100.0)
+    series.record(1.5, 300.0)
+    series.flush()
+    (window,) = series.closed_windows()
+    assert window.rate() == pytest.approx(200.0)  # 400 bytes / 2 s
+
+
+# ----------------------------------------------------------------------
+# bounded memory
+# ----------------------------------------------------------------------
+
+
+def test_ring_buffer_evicts_oldest_windows():
+    series = ComponentSeries("switch", "ofs1", "flowtable_occupancy", window=1.0, capacity=8)
+    for i in range(100):
+        series.record(float(i) + 0.5, float(i))
+    series.flush()
+    windows = series.closed_windows()
+    assert len(windows) == 8  # the ring bound, not 100
+    assert [w.t_start for w in windows] == [92.0, 93.0, 94.0, 95.0, 96.0, 97.0, 98.0, 99.0]
+    # Cumulative aggregates still cover the whole stream.
+    assert series.count == 100
+    assert series.vmax == 99.0
+
+
+def test_memory_stays_o_components_not_o_events():
+    plane = TelemetryPlane(window=1.0, capacity=16, sample_capacity=32)
+    for i in range(20_000):
+        plane.record("link", "a--b", "utilization", t=i * 0.01, value=0.5)
+    series = plane.get("link", "a--b", "utilization")
+    assert len(list(plane)) == 1  # one component, one series
+    assert len(series.closed_windows()) <= 16
+    if series._acc is not None:
+        assert len(series._acc.samples) <= 32
+    assert series.count == 20_000
+
+
+# ----------------------------------------------------------------------
+# plane behavior
+# ----------------------------------------------------------------------
+
+
+def test_plane_series_is_get_or_create():
+    plane = TelemetryPlane()
+    first = plane.series("link", "a--b", "drops", counter=True)
+    second = plane.series("link", "a--b", "drops")
+    assert first is second
+    assert first.counter  # creation kwargs win; later lookups are plain
+
+
+def test_for_component_matches_edges_and_endpoints():
+    plane = TelemetryPlane()
+    plane.series("link", "ofs1--ofs5", "drops", counter=True)
+    plane.series("switch", "ofs1", "flowtable_occupancy")
+    plane.series("switch", "ofs9", "flowtable_occupancy")
+    # A bare endpoint picks up its links; an edge matches either order.
+    assert {s.component for s in plane.for_component("ofs1")} == {
+        "ofs1--ofs5",
+        "ofs1",
+    }
+    # An edge query matches regardless of endpoint order — and also picks
+    # up the endpoints' own series, mirroring ``changes_for``.
+    assert {s.component for s in plane.for_component("ofs5--ofs1")} == {
+        "ofs1--ofs5",
+        "ofs1",
+    }
+    assert plane.for_component("ofs7") == []
+
+
+def test_noop_plane_is_inert():
+    assert NOOP_TELEMETRY.enabled is False
+    series = NOOP_TELEMETRY.series("link", "a--b", "drops")
+    series.record(1.0, 5.0)  # must not raise, must not retain
+    assert list(NOOP_TELEMETRY) == []
+    assert isinstance(NOOP_TELEMETRY, NoopTelemetry)
+
+
+def test_series_names_follow_the_lintable_grammar():
+    plane = TelemetryPlane()
+    for kind, component, metric in [
+        ("link", "a--b", "utilization"),
+        ("switch", "ofs1", "flowtable_occupancy"),
+        ("controller", "c0", "reply_latency"),
+        ("app", "web", "rpc_latency"),
+        ("host", "S1", "rpc_latency"),
+    ]:
+        series = plane.series(kind, component, metric)
+        assert is_known_metric(series.name), series.name
+
+
+def test_plane_rejects_unknown_kind_and_bad_window():
+    plane = TelemetryPlane()
+    with pytest.raises(ValueError):
+        plane.series("rack", "r1", "utilization")
+    with pytest.raises(ValueError):
+        TelemetryPlane(window=0.0)
+    with pytest.raises(ValueError):
+        TelemetryPlane(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# export round-trips
+# ----------------------------------------------------------------------
+
+
+def _sample_plane():
+    plane = TelemetryPlane(window=1.0, capacity=8)
+    for i in range(40):
+        t = i * 0.25
+        plane.record("link", "ofs1--ofs5", "utilization", t=t, value=0.1 + 0.02 * i)
+        plane.record("link", "ofs1--ofs5", "drops", t=t, value=1.0, counter=True)
+    plane.record("app", "web", "rpc_latency", t=3.0, value=0.5)
+    plane.flush(10.0)
+    return plane
+
+
+def test_window_stat_dict_round_trip():
+    stat = WindowStat(1.0, 2.0, 5, 10.0, 1.0, 4.0, 2.0, 3.5)
+    assert WindowStat.from_dict(stat.to_dict()) == stat
+
+
+def test_jsonl_round_trip_rebuilds_equivalent_plane(tmp_path):
+    plane = _sample_plane()
+    path = str(tmp_path / "telemetry.jsonl")
+    lines = write_jsonl(path, MetricsRegistry(), telemetry=plane)
+    assert lines == len(list(plane))
+
+    rebuilt = plane_from_events(read_jsonl(path))
+    assert sorted(s.name for s in rebuilt) == sorted(s.name for s in plane)
+    for series in plane:
+        twin = rebuilt.get(series.kind, series.component, series.metric)
+        assert twin is not None
+        assert twin.counter == series.counter
+        assert twin.count == series.count
+        assert twin.total == pytest.approx(series.total)
+        assert twin.closed_windows() == series.closed_windows()
+
+
+def test_plane_from_events_skips_foreign_events():
+    events = [{"type": "meta"}, {"type": "counter", "name": "x_total"}]
+    events.extend(iter_telemetry_events(_sample_plane()))
+    rebuilt = plane_from_events(events)
+    assert len(list(rebuilt)) == 3
+
+
+@pytest.mark.parametrize(
+    "component",
+    [
+        'edge "with" quotes',
+        "back\\slash--b",
+        "new\nline--b",
+        'all\\"of\nit',
+    ],
+)
+def test_prometheus_export_escapes_hostile_component_labels(component):
+    plane = TelemetryPlane(window=1.0)
+    plane.record("link", component, "drops", t=0.5, value=3.0, counter=True)
+    plane.flush(2.0)
+    text = render_prometheus(telemetry_registry(plane))
+    expected = f'component="{escape_label_value(component)}"'
+    assert expected in text
+    # The escaped form must encode every hostile character...
+    assert "\n" not in expected.strip("\n")
+    for raw, escaped in (("\\", "\\\\"), ('"', '\\"'), ("\n", "\\n")):
+        if raw in component:
+            assert escaped in expected
+    # ...and the exposition must still be line-structured: every
+    # non-comment line is "name{labels} value".
+    for line in text.splitlines():
+        if line and not line.startswith("#"):
+            assert line.rsplit(" ", 1)[1] != ""
+
+
+def test_telemetry_registry_renders_counters_and_level_stats():
+    plane = _sample_plane()
+    text = render_prometheus(telemetry_registry(plane))
+    assert 'telemetry_link_drops{component="ofs1--ofs5"} 40' in text
+    for stat in ("last", "mean", "p95", "min", "max"):
+        assert f'stat="{stat}"' in text
+    # JSON events embed the same window payloads the ring retains.
+    event = next(
+        e
+        for e in iter_telemetry_events(plane)
+        if e["metric"] == "utilization"
+    )
+    assert len(event["windows"]) <= 8
+    assert json.dumps(event)  # JSON-serializable all the way down
+
+
+def test_render_tables_lists_worst_components_first():
+    from repro.obs.telemetry import render_tables
+
+    plane = _sample_plane()
+    plane.record("link", "quiet--edge", "utilization", t=0.5, value=0.01)
+    plane.flush(10.0)
+    text = render_tables(plane)
+    assert text.index("ofs1--ofs5") < text.index("quiet--edge")
+    assert "link telemetry" in text and "app telemetry" in text
+
+
+def test_flush_without_close_partial_keeps_open_window():
+    series = ComponentSeries("app", "web", "rpc_latency", window=10.0)
+    series.record(1.0, 2.0)
+    series.flush(now=5.0, close_partial=False)
+    assert series.closed_windows() == ()
+    series.flush(now=15.0, close_partial=False)
+    assert len(series.closed_windows()) == 1
+
+
+def test_mean_and_duration_guard_empty_windows():
+    stat = WindowStat(0.0, 1.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    assert stat.mean == 0.0
+    assert stat.rate() == 0.0
+    assert math.isfinite(stat.duration)
