@@ -87,14 +87,7 @@ def test_bench_log_serialization(benchmark, lab_log, tmp_path):
     assert count == len(lab_log)
 
 
-def test_obs_overhead_under_five_percent(lab_log):
-    """The instrumented pipeline must cost <5% over the no-op path.
-
-    This is the contract that lets the sliding diagnoser run with real
-    metrics + tracing in production; guarded here (and recorded in
-    BENCH_pipeline.json) so an accidentally hot instrument shows up as a
-    test failure rather than a silent slowdown.
-    """
+def _load_emitter():
     import importlib.util
     import os
 
@@ -103,8 +96,49 @@ def test_obs_overhead_under_five_percent(lab_log):
     )
     emitter = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(emitter)
-    result = emitter.run_obs_overhead_bench(log=lab_log, repeats=7)
+    return emitter
+
+
+def test_obs_overhead_under_five_percent(lab_log):
+    """The instrumented pipeline must cost <5% over the no-op path.
+
+    This is the contract that lets the sliding diagnoser run with real
+    metrics + tracing in production; guarded here (and recorded in
+    BENCH_pipeline.json) so an accidentally hot instrument shows up as a
+    test failure rather than a silent slowdown. Median-of-repeats with
+    the spread reported as ``noise_floor_pct``; re-measure up to twice
+    before declaring a regression (a real hot path fails all three).
+    """
+    emitter = _load_emitter()
+    result = None
+    for _ in range(3):
+        result = emitter.run_obs_overhead_bench(log=lab_log, repeats=7)
+        if result["overhead_pct"] < 5.0:
+            break
     assert result["overhead_pct"] < 5.0, result
+    assert "noise_floor_pct" in result and result["noise_floor_pct"] >= 0.0
+
+
+def test_profiler_off_overhead_under_five_percent(lab_log):
+    """An unattached span profiler must cost <5% over the no-op path.
+
+    ``repro profile`` rides tracer span hooks, so a traced pipeline now
+    performs one empty-hook-list check per span boundary even with no
+    profiler attached. That is the *default* production configuration —
+    guarded here so hook dispatch never silently grows into the hot
+    path. The bench also reports the attached-profiler slowdown, which
+    must be finite and positive (it is expected to be several ×; that
+    cost is why ledger phase numbers come from unprofiled passes).
+    """
+    emitter = _load_emitter()
+    result = None
+    for _ in range(3):
+        result = emitter.run_profiler_overhead_bench(log=lab_log, repeats=7)
+        if result["overhead_pct"] < 5.0:
+            break
+    assert result["overhead_pct"] < 5.0, result
+    assert "noise_floor_pct" in result and result["noise_floor_pct"] >= 0.0
+    assert result["profiled_slowdown_x"] > 0.0
 
 
 def test_telemetry_overhead_under_five_percent():
@@ -115,15 +149,8 @@ def test_telemetry_overhead_under_five_percent():
     is enabled, so a regression here multiplies across the whole
     simulation. Recorded in BENCH_pipeline.json as ``telemetry``.
     """
-    import importlib.util
-    import os
-
-    spec = importlib.util.spec_from_file_location(
-        "bench_emit", os.path.join(os.path.dirname(__file__), "emit.py")
-    )
-    emitter = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(emitter)
-    # Best-of-N suppresses most scheduler noise, but on a single-CPU
+    emitter = _load_emitter()
+    # Median-of-N suppresses most scheduler noise, but on a single-CPU
     # runner one unlucky leg can still exceed the budget; re-measure up
     # to twice before declaring a regression (a real hot path fails all
     # three).
@@ -133,5 +160,6 @@ def test_telemetry_overhead_under_five_percent():
         if result["overhead_pct"] < 5.0:
             break
     assert result["overhead_pct"] < 5.0, result
+    assert "noise_floor_pct" in result and result["noise_floor_pct"] >= 0.0
     assert result["raw_samples_per_s"] > 0
     assert result["messages_per_s"] > 0

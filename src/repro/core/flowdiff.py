@@ -83,7 +83,10 @@ class FlowDiff:
         config: modeling/diffing tunables.
         tracer: when given, every pipeline phase (extract, app-signature,
             infra-signature, stability, compare, validate, rank, ...) is
-            recorded as a nested span — this is what ``--profile`` prints.
+            recorded as a nested span — this is what ``--profile`` prints,
+            what the run ledger records, and where a span-scoped
+            :class:`~repro.obs.profiler.SpanProfiler` hook attributes
+            function-level time.
         metrics: when given, per-call counters and latency histograms are
             recorded. Both default to shared no-op objects so the
             uninstrumented pipeline pays only one method call per *phase*.
@@ -140,7 +143,9 @@ class FlowDiff:
             if cached is not None:
                 self._m_models.inc()
                 return cached
-        with self.tracer.span("model", messages=len(log)):
+        with self.tracer.span(
+            "model", messages=len(log), window=list(window)
+        ):
             model: Optional[BehaviorModel] = None
             if self.config.jobs != 1 and records is None:
                 from repro.core.parallel import parallel_model
@@ -198,7 +203,7 @@ class FlowDiff:
             )
         stability = {}
         if assess and self.config.stability_parts >= 2:
-            with self.tracer.span("stability"):
+            with self.tracer.span("stability", parts=self.config.stability_parts):
                 stability = assess_stability(
                     log,
                     self.config.signature,

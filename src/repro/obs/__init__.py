@@ -30,7 +30,14 @@ costs nothing measurable:
   telemetry plane (links by utilization/drops, switches by table
   pressure).
 * :mod:`repro.obs.httpd` — the read-only ops HTTP endpoint
-  (``/healthz``, ``/metrics``, ``/telemetry``, ``/alerts``).
+  (``/healthz``, ``/metrics``, ``/telemetry``, ``/alerts``, ``/runs``).
+* :mod:`repro.obs.profiler` — the span-scoped function profiler: a
+  tracer hook keeping one ``cProfile`` per open span, folding results
+  into collapsed-stack format; off unless explicitly attached.
+* :mod:`repro.obs.flamegraph` — deterministic, self-contained SVG
+  flamegraphs of folded stacks (same input → byte-identical output).
+* :mod:`repro.obs.ledger` — the append-only, content-addressed run
+  ledger behind ``repro runs list|show|compare|gate``.
 
 Typical instrumented run::
 
@@ -67,11 +74,19 @@ from repro.obs.export import (
     render_prometheus,
     write_jsonl,
 )
+from repro.obs.flamegraph import flamegraph_svg, parse_folded, save_flamegraph
 from repro.obs.flightrec import (
     FlightRecorder,
     FlowTimeline,
     TimelineEvent,
     reconstruct,
+)
+from repro.obs.ledger import (
+    GateResult,
+    RunLedger,
+    RunRecord,
+    compare_records,
+    gate_records,
 )
 from repro.obs.heatmap import heatmap_to_html, save_heatmap, topology_heatmap_svg
 from repro.obs.httpd import ObsHTTPServer, ObsState
@@ -85,6 +100,13 @@ from repro.obs.metrics import (
     NoopRegistry,
 )
 from repro.obs.profile import phase_rows, phase_timings, render_phase_table
+from repro.obs.profiler import (
+    SpanProfiler,
+    attach_profiler,
+    deterministic_timer,
+    reconcile_phases,
+    render_function_table,
+)
 from repro.obs.telemetry import (
     NOOP_TELEMETRY,
     ComponentSeries,
@@ -118,6 +140,7 @@ __all__ = [
     "FlightRecorder",
     "FlowTimeline",
     "Gauge",
+    "GateResult",
     "Histogram",
     "LogSummary",
     "MetricsRegistry",
@@ -127,32 +150,44 @@ __all__ = [
     "ObsHTTPServer",
     "ObsState",
     "ProblemClassRule",
+    "RunLedger",
+    "RunRecord",
     "Severity",
     "Span",
+    "SpanProfiler",
     "TelemetryPlane",
     "ThresholdRule",
     "TimelineEvent",
     "Tracer",
     "UnhealthyWindowsRule",
     "WindowStat",
+    "attach_profiler",
+    "compare_records",
     "default_rules",
+    "deterministic_timer",
+    "flamegraph_svg",
+    "gate_records",
     "heatmap_to_html",
     "iter_metric_events",
     "iter_span_events",
     "iter_telemetry_events",
     "metric_matches",
     "metrics_from_events",
+    "parse_folded",
     "phase_rows",
     "phase_timings",
     "plane_from_events",
     "read_alerts_jsonl",
     "read_jsonl",
+    "reconcile_phases",
     "reconstruct",
+    "render_function_table",
     "render_phase_table",
     "render_prometheus",
     "render_summary",
     "render_tables",
     "record_log_metrics",
+    "save_flamegraph",
     "save_heatmap",
     "summarize_log",
     "telemetry_registry",

@@ -1,0 +1,202 @@
+"""Flamegraphs: collapsed stacks rendered as one self-contained SVG.
+
+The :mod:`repro.obs.heatmap` discipline applied to profiles: no scripts,
+no external assets, deterministic output — the same folded input always
+renders the byte-identical SVG, so CI can diff artifacts and tests can
+assert on bytes. Layout is the classic icicle: the root row spans the
+full width, each frame's width is proportional to its folded value, and
+children sit below their parent sorted by name (not by weight, which
+would reshuffle the picture whenever two functions trade places by a
+microsecond).
+
+Colors are content-addressed: a frame's fill derives from a hash of its
+name alone, so ``model/stability`` keeps its color across runs, PRs, and
+machines. Span frames (pipeline phases — no ``:`` in the name) draw from
+a cool ramp, function frames (``file.py:func``) from the traditional
+warm ramp, which makes the phase band structurally obvious at the top of
+every graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import html as _html
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Geometry shared by renderer and tests.
+FRAME_HEIGHT = 17
+_FONT_WIDTH = 6.6  # px per character at the 11px monospace label size
+_MIN_FRAME_PX = 0.4  # frames narrower than this are pruned, not drawn
+
+_STYLE = """
+svg.flamegraph { background: #fafafa; border: 1px solid #ddd; }
+.frame rect { stroke: #fafafa; stroke-width: 0.5; }
+.frame text { font: 11px monospace; fill: #222; pointer-events: none; }
+.fg-title { font: 14px system-ui, sans-serif; fill: #222; }
+.fg-meta { font: 11px system-ui, sans-serif; fill: #777; }
+"""
+
+
+def parse_folded(lines: Iterable[str]) -> Dict[str, float]:
+    """Parse ``stack value`` lines into a folded dict (summing repeats).
+
+    Blank lines and ``#`` comments are skipped; a line whose last field
+    is not a number raises ``ValueError`` naming the line.
+    """
+    out: Dict[str, float] = {}
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        stack, _, value = line.rpartition(" ")
+        if not stack:
+            raise ValueError(f"malformed folded line (no value field): {raw!r}")
+        try:
+            weight = float(value)
+        except ValueError as exc:
+            raise ValueError(f"malformed folded value in line {raw!r}") from exc
+        out[stack] = out.get(stack, 0.0) + weight
+    return out
+
+
+class _Frame:
+    """One node of the flame tree."""
+
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.children: Dict[str, "_Frame"] = {}
+
+    def child(self, name: str) -> "_Frame":
+        node = self.children.get(name)
+        if node is None:
+            node = _Frame(name)
+            self.children[name] = node
+        return node
+
+
+def _build_tree(folded: Mapping[str, float], root_name: str) -> _Frame:
+    root = _Frame(root_name)
+    for stack, value in folded.items():
+        if value <= 0.0:
+            continue
+        node = root
+        node.value += value
+        for part in stack.split(";"):
+            node = node.child(part)
+            node.value += value
+    return root
+
+
+def frame_color(name: str) -> str:
+    """The deterministic fill color for a frame name.
+
+    Function frames (containing ``:``) map into the warm
+    red-orange-yellow flamegraph ramp; span/phase frames map into a cool
+    blue-green ramp so the pipeline structure reads at a glance. Only the
+    name participates — no randomness, no run state.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    v1, v2 = digest[0] / 255.0, digest[1] / 255.0
+    if ":" in name:
+        r = 205 + int(50 * v1)
+        g = int(200 * v2)
+        b = int(55 * v1)
+    else:
+        r = int(70 * v2)
+        g = 120 + int(80 * v1)
+        b = 160 + int(70 * v2)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def _esc(text: object) -> str:
+    return _html.escape(str(text), quote=True)
+
+
+def _label(name: str, width: float) -> Optional[str]:
+    """The frame's visible text, truncated to fit, or None if too narrow."""
+    budget = int((width - 6) / _FONT_WIDTH)
+    if budget < 3:
+        return None
+    if len(name) <= budget:
+        return name
+    return name[: budget - 2] + ".."
+
+
+def flamegraph_svg(
+    folded: Mapping[str, float],
+    title: str = "repro flamegraph",
+    width: int = 1200,
+    root_name: str = "all",
+    unit: str = "µs",
+) -> str:
+    """Render folded stacks as a deterministic, self-contained SVG.
+
+    Determinism contract: equal ``folded`` content (regardless of dict
+    insertion order) yields byte-identical output. Children are laid out
+    sorted by name, coordinates are fixed-precision, and colors hash from
+    frame names only.
+    """
+    root = _build_tree(folded, root_name)
+    total = root.value
+
+    # Depth-first layout, children alphabetical, self time leading.
+    frames: List[Tuple[int, float, float, _Frame]] = []  # (depth, x, w, frame)
+    max_depth = 0
+
+    def place(frame: _Frame, depth: int, x: float, w: float) -> None:
+        nonlocal max_depth
+        if w < _MIN_FRAME_PX:
+            return
+        frames.append((depth, x, w, frame))
+        max_depth = max(max_depth, depth)
+        child_x = x
+        for name in sorted(frame.children):
+            child = frame.children[name]
+            child_w = w * (child.value / frame.value) if frame.value else 0.0
+            place(child, depth + 1, child_x, child_w)
+            child_x += child_w
+
+    if total > 0:
+        place(root, 0, 0.0, float(width))
+
+    header = 34
+    height = header + (max_depth + 1) * FRAME_HEIGHT + 10
+    out: List[str] = [
+        f'<svg class="flamegraph" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" '
+        'xmlns="http://www.w3.org/2000/svg" role="img" '
+        f'aria-label="{_esc(title)}">',
+        f"<style>{_STYLE}</style>",
+        f'<text class="fg-title" x="8" y="18">{_esc(title)}</text>',
+        f'<text class="fg-meta" x="8" y="30">total {total:.0f} {_esc(unit)} '
+        f"&#183; {len(folded)} stacks</text>",
+    ]
+    for depth, x, w, frame in frames:
+        y = header + depth * FRAME_HEIGHT
+        share = frame.value / total if total else 0.0
+        tip = (
+            f"{frame.name}: {frame.value:.0f} {unit} ({share * 100:.2f}%)"
+        )
+        out.append(
+            f'<g class="frame" data-name="{_esc(frame.name)}">'
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+            f'height="{FRAME_HEIGHT - 1}" fill="{frame_color(frame.name)}">'
+            f"<title>{_esc(tip)}</title></rect>"
+        )
+        label = _label(frame.name, w)
+        if label is not None:
+            out.append(
+                f'<text x="{x + 3:.2f}" y="{y + 12}">{_esc(label)}</text>'
+            )
+        out.append("</g>")
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def save_flamegraph(path: str, folded: Mapping[str, float], **kwargs: Any) -> None:
+    """Write the flamegraph SVG for ``folded`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(flamegraph_svg(folded, **kwargs))

@@ -2,19 +2,24 @@
 
 The first concrete step toward the roadmap's always-on streaming service:
 a tiny operational endpoint an operator (or a scrape loop) can point a
-browser at while an experiment runs. Four routes, all GET-only:
+browser at while an experiment runs. Five routes, all read-only:
 
 * ``/healthz``    — liveness plus a one-look summary (series, alerts);
 * ``/metrics``    — Prometheus text exposition of the metrics registry
   and the telemetry plane, through the normal export grammar;
 * ``/telemetry``  — the plane's series with their windows, as JSON;
-* ``/alerts``     — every fired alert, as JSON.
+* ``/alerts``     — every fired alert, as JSON;
+* ``/runs``       — run-ledger record summaries (``/runs?id=PREFIX``
+  for one full record, folded profile included).
 
-Strictly read-only: any non-GET method is answered ``405`` with an
-``Allow: GET`` header, and nothing in the handler mutates the observed
-state. Built on :class:`http.server.ThreadingHTTPServer` only — no new
-dependencies — and binds an ephemeral port by default so tests and
-parallel runs never collide.
+``GET`` and ``HEAD`` are both served — ``HEAD`` returns the same status
+and headers (including the exact ``Content-Length``) with no body, so
+probes and load balancers can poll cheaply. Any mutating verb is
+answered ``405`` with an ``Allow: GET, HEAD`` header, and nothing in the
+handler mutates the observed state. Built on
+:class:`http.server.ThreadingHTTPServer` only — no new dependencies —
+and binds an ephemeral port by default so tests and parallel runs never
+collide.
 """
 
 from __future__ import annotations
@@ -22,7 +27,8 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.alerts import AlertEngine
 from repro.obs.export import render_prometheus
@@ -34,9 +40,13 @@ from repro.obs.telemetry import (
     telemetry_registry,
 )
 
+if TYPE_CHECKING:
+    from repro.obs.ledger import RunLedger
+
 
 class ObsState:
-    """What the endpoint exposes: registry, telemetry plane, alert engine.
+    """What the endpoint exposes: registry, telemetry plane, alert
+    engine, and optionally a run ledger.
 
     A thin aggregate so the server reads one object; every field is
     optional and read at request time, so a live simulation's plane keeps
@@ -48,10 +58,12 @@ class ObsState:
         registry: Optional[MetricsRegistry] = None,
         telemetry: TelemetryPlane = NOOP_TELEMETRY,
         engine: Optional[AlertEngine] = None,
+        ledger: Optional["RunLedger"] = None,
     ) -> None:
         self.registry = registry
         self.telemetry = telemetry
         self.engine = engine
+        self.ledger = ledger
 
     def health(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"status": "ok"}
@@ -79,32 +91,72 @@ class ObsState:
             return []
         return [a.to_dict() for a in self.engine.alerts]
 
+    def runs_json(self, record_prefix: Optional[str] = None) -> Tuple[int, Any]:
+        """``(status, payload)`` for the ``/runs`` route.
+
+        Without a prefix: every record's summary row (cheap — folded
+        profiles are omitted). With one: the full matching record,
+        ``404`` when nothing matches, ``400`` when ambiguous.
+        """
+        if self.ledger is None:
+            return 200, {"records": []}
+        if record_prefix is None:
+            return 200, {
+                "records": [r.summary() for r in self.ledger.records()]
+            }
+        try:
+            record = self.ledger.get(record_prefix)
+        except KeyError as exc:
+            code = 400 if "ambiguous" in str(exc) else 404
+            return code, {"error": str(exc)}
+        return 200, record.to_dict()
+
 
 class _Handler(BaseHTTPRequestHandler):
-    """Route the four read-only pages; refuse everything else."""
+    """Route the read-only pages; refuse everything else."""
 
     server_version = "repro-obs/1"
     #: Injected by :class:`ObsHTTPServer` at server construction.
     state: ObsState
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+    def _respond(self, include_body: bool) -> None:
+        """Shared GET/HEAD routing; HEAD sends headers only."""
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
         if path in ("/", "/healthz"):
-            self._json(200, self.state.health())
+            self._json(200, self.state.health(), include_body)
         elif path == "/metrics":
             body = self.state.prometheus().encode("utf-8")
-            self._raw(200, body, "text/plain; version=0.0.4; charset=utf-8")
+            self._raw(
+                200,
+                body,
+                "text/plain; version=0.0.4; charset=utf-8",
+                include_body,
+            )
         elif path == "/telemetry":
-            self._json(200, self.state.telemetry_json())
+            self._json(200, self.state.telemetry_json(), include_body)
         elif path == "/alerts":
-            self._json(200, self.state.alerts_json())
+            self._json(200, self.state.alerts_json(), include_body)
+        elif path == "/runs":
+            query = parse_qs(parts.query)
+            prefix = query.get("id", [None])[0]
+            code, payload = self.state.runs_json(prefix)
+            self._json(code, payload, include_body)
         else:
-            self._json(404, {"error": f"unknown path {path!r}"})
+            self._json(404, {"error": f"unknown path {path!r}"}, include_body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        self._respond(include_body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server naming convention
+        """Same status and headers as GET — Content-Length included —
+        with no body, so liveness probes don't pay for payloads."""
+        self._respond(include_body=False)
 
     def _refuse_write(self) -> None:
         body = json.dumps({"error": "read-only endpoint"}).encode("utf-8")
         self.send_response(405)
-        self.send_header("Allow", "GET")
+        self.send_header("Allow", "GET, HEAD")
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
@@ -116,19 +168,23 @@ class _Handler(BaseHTTPRequestHandler):
     do_DELETE = _refuse_write
     do_PATCH = _refuse_write
 
-    def _json(self, code: int, payload: Any) -> None:
+    def _json(self, code: int, payload: Any, include_body: bool = True) -> None:
         self._raw(
             code,
             json.dumps(payload, indent=2).encode("utf-8"),
             "application/json",
+            include_body,
         )
 
-    def _raw(self, code: int, body: bytes, content_type: str) -> None:
+    def _raw(
+        self, code: int, body: bytes, content_type: str, include_body: bool = True
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(body)
+        if include_body:
+            self.wfile.write(body)
 
     def log_message(self, format: str, *args: Any) -> None:
         """Silence per-request stderr chatter (the CLI reports the URL)."""

@@ -34,6 +34,14 @@ TELEMETRY_METRIC_RE = re.compile(
     r"^telemetry_(link|switch|controller|app|host)_[a-z][a-z0-9_]*$"
 )
 
+#: The performance-observatory family: ``profile_*`` (span-scoped
+#: profiler, :mod:`repro.obs.profiler`) and ``runs_*`` (run ledger,
+#: :mod:`repro.obs.ledger`). Like the telemetry family, membership is
+#: grammatical — the observatory mints per-surface names (spans
+#: profiled, records appended/skipped, gates evaluated) without a
+#: manifest edit per instrument.
+PROFILE_METRIC_RE = re.compile(r"^(profile|runs)_[a-z][a-z0-9_]*$")
+
 #: Every metric the reproduction emits, by subsystem. The ``metric-names``
 #: lint rule fails the build when a source file registers a name missing
 #: here — add the name (keep the subsystem grouping) in the same change
@@ -96,8 +104,12 @@ def is_valid_metric_name(name: str) -> bool:
 
 def is_known_metric(name: str) -> bool:
     """Whether ``name`` is declared: listed in the manifest, or a member
-    of the grammatical ``telemetry_*`` family."""
-    return name in KNOWN_METRICS or bool(TELEMETRY_METRIC_RE.match(name))
+    of a grammatical family (``telemetry_*``, ``profile_*``/``runs_*``)."""
+    return (
+        name in KNOWN_METRICS
+        or bool(TELEMETRY_METRIC_RE.match(name))
+        or bool(PROFILE_METRIC_RE.match(name))
+    )
 
 
 def is_valid_label_name(name: str) -> bool:

@@ -382,8 +382,9 @@ class MetricNamesRule(Rule):
     Every ``.counter(...)``/``.gauge(...)``/``.histogram(...)`` call site
     must use a string-literal name that passes the shared Prometheus
     validator (:mod:`repro.obs.names`) *and* be declared — listed in
-    :data:`~repro.obs.names.KNOWN_METRICS` or a member of the grammatical
-    ``telemetry_*`` family (:func:`~repro.obs.names.is_known_metric`);
+    :data:`~repro.obs.names.KNOWN_METRICS` or a member of a grammatical
+    family (``telemetry_*``, ``profile_*``/``runs_*``; see
+    :func:`~repro.obs.names.is_known_metric`);
     label keyword names must be valid and in
     :data:`~repro.obs.names.KNOWN_LABELS`. Dynamic names are allowed only
     inside ``repro.obs`` itself (the JSONL round-trip rebuilds instruments
@@ -437,7 +438,8 @@ class MetricNamesRule(Rule):
                     message=(
                         f"metric {name!r} is not declared in the manifest "
                         f"(add it to KNOWN_METRICS in repro/obs/names.py, "
-                        f"or follow the telemetry_* family grammar)"
+                        f"or follow a declared family grammar: telemetry_*, "
+                        f"profile_*/runs_*)"
                     ),
                 )
             for kw in call.keywords:

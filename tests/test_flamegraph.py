@@ -1,0 +1,139 @@
+"""The SVG flamegraph renderer: determinism, layout proportionality,
+escaping, pruning, and the folded-format round trip."""
+
+import re
+import unittest
+
+from repro.obs.flamegraph import (
+    FRAME_HEIGHT,
+    flamegraph_svg,
+    frame_color,
+    parse_folded,
+    save_flamegraph,
+)
+
+FOLDED = {
+    "model;extract;events.py:decode": 400.0,
+    "model;extract;events.py:join": 100.0,
+    "model;signature;delay.py:fit": 300.0,
+    "diff;compare;compare.py:changes": 200.0,
+}
+
+
+class ParseFoldedTest(unittest.TestCase):
+    def test_round_trip(self):
+        lines = [f"{stack} {value:.0f}" for stack, value in FOLDED.items()]
+        self.assertEqual(parse_folded(lines), FOLDED)
+
+    def test_blank_and_comment_lines_skipped(self):
+        parsed = parse_folded(["", "# header", "a;f 10", "   "])
+        self.assertEqual(parsed, {"a;f": 10.0})
+
+    def test_repeated_stacks_sum(self):
+        self.assertEqual(parse_folded(["a;f 10", "a;f 5"]), {"a;f": 15.0})
+
+    def test_malformed_value_raises_naming_line(self):
+        with self.assertRaises(ValueError) as ctx:
+            parse_folded(["a;f notanumber"])
+        self.assertIn("a;f notanumber", str(ctx.exception))
+
+    def test_missing_value_field_raises(self):
+        with self.assertRaises(ValueError):
+            parse_folded(["loneword"])
+
+
+class DeterminismTest(unittest.TestCase):
+    def test_byte_identical_for_equal_input(self):
+        self.assertEqual(flamegraph_svg(FOLDED), flamegraph_svg(FOLDED))
+
+    def test_insertion_order_does_not_matter(self):
+        reordered = dict(reversed(list(FOLDED.items())))
+        self.assertEqual(flamegraph_svg(FOLDED), flamegraph_svg(reordered))
+
+    def test_frame_color_is_pure(self):
+        self.assertEqual(frame_color("model"), frame_color("model"))
+        self.assertRegex(frame_color("model"), r"^#[0-9a-f]{6}$")
+
+    def test_span_and_function_ramps_differ(self):
+        # Phase frames (no colon) are cool (blue-dominant); function
+        # frames (with colon) are warm (red-dominant).
+        phase = frame_color("model")
+        func = frame_color("events.py:decode")
+        pr, pb = int(phase[1:3], 16), int(phase[5:7], 16)
+        fr, fb = int(func[1:3], 16), int(func[5:7], 16)
+        self.assertGreater(pb, pr)
+        self.assertGreater(fr, fb)
+
+
+class LayoutTest(unittest.TestCase):
+    def _rect_widths(self, svg):
+        widths = {}
+        for m in re.finditer(
+            r'data-name="([^"]*)"><rect [^>]*width="([0-9.]+)"', svg
+        ):
+            widths[m.group(1)] = float(m.group(2))
+        return widths
+
+    def test_widths_proportional_to_values(self):
+        svg = flamegraph_svg(FOLDED, width=1000)
+        widths = self._rect_widths(svg)
+        total = sum(FOLDED.values())
+        self.assertAlmostEqual(widths["all"], 1000.0)
+        self.assertAlmostEqual(
+            widths["model"], 1000.0 * 800.0 / total, delta=0.05
+        )
+        self.assertAlmostEqual(
+            widths["diff"], 1000.0 * 200.0 / total, delta=0.05
+        )
+        self.assertAlmostEqual(
+            widths["events.py:decode"], 1000.0 * 400.0 / total, delta=0.05
+        )
+
+    def test_height_tracks_depth(self):
+        shallow = flamegraph_svg({"a": 10.0})
+        deep = flamegraph_svg({"a;b;c;d;e": 10.0})
+        h_shallow = int(re.search(r'height="(\d+)"', shallow).group(1))
+        h_deep = int(re.search(r'height="(\d+)"', deep).group(1))
+        self.assertEqual(h_deep - h_shallow, 4 * FRAME_HEIGHT)
+
+    def test_tiny_frames_pruned(self):
+        folded = {"big;huge": 1_000_000.0, "big;tiny": 0.001}
+        svg = flamegraph_svg(folded, width=1000)
+        self.assertIn('data-name="huge"', svg)
+        self.assertNotIn('data-name="tiny"', svg)
+
+    def test_empty_input_renders_valid_svg(self):
+        svg = flamegraph_svg({})
+        self.assertTrue(svg.startswith("<svg"))
+        self.assertTrue(svg.endswith("</svg>"))
+        self.assertIn("0 stacks", svg)
+
+
+class EscapingTest(unittest.TestCase):
+    def test_hostile_names_escaped(self):
+        folded = {'phase;<script>"alert"&x.py:f': 10.0}
+        svg = flamegraph_svg(folded, title='<b>"title"&</b>')
+        self.assertNotIn("<script>", svg)
+        self.assertNotIn('<b>"title"', svg)
+        self.assertIn("&lt;script&gt;", svg)
+        self.assertIn("&amp;", svg)
+
+    def test_tooltips_carry_share(self):
+        svg = flamegraph_svg({"model;f.py:g": 100.0}, unit="µs")
+        self.assertIn("100 µs (100.00%)", svg)
+
+
+class SaveTest(unittest.TestCase):
+    def test_save_writes_same_bytes(self):
+        import os
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "g.svg")
+            save_flamegraph(path, FOLDED, title="t")
+            with open(path, encoding="utf-8") as fh:
+                self.assertEqual(fh.read(), flamegraph_svg(FOLDED, title="t"))
+
+
+if __name__ == "__main__":
+    unittest.main()

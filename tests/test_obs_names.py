@@ -10,6 +10,7 @@ from repro.obs.names import (
     KNOWN_LABELS,
     KNOWN_METRICS,
     escape_label_value,
+    is_known_metric,
     is_valid_label_name,
     is_valid_metric_name,
     validate_label_name,
@@ -53,6 +54,25 @@ class TestManifest:
     def test_every_known_label_is_grammatical(self):
         for name in KNOWN_LABELS:
             assert is_valid_label_name(name), name
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "profile_spans_total",
+            "runs_records_total",
+            "profile_folded_bytes",
+            "telemetry_link_utilization",
+        ],
+    )
+    def test_grammatical_families_are_known(self, name):
+        assert is_known_metric(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["profile_", "runs_BadCase", "profiler_spans_total", "run_records"],
+    )
+    def test_family_grammar_is_strict(self, name):
+        assert not is_known_metric(name)
 
 
 class TestRuntimeAgreement:

@@ -1,0 +1,319 @@
+"""``repro profile`` and ``repro runs``: the CLI surface of the
+performance observatory, plus the ``/runs`` route and ``HEAD`` support
+of the ops endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+
+PROFILE_ARGS = [
+    "profile",
+    "--scenario",
+    "scalability",
+    "--apps",
+    "2",
+    "--duration",
+    "5",
+    "--repeats",
+    "1",
+]
+
+
+@pytest.fixture(scope="module")
+def profiled(tmp_path_factory):
+    """One deterministic profiled run with every artifact written."""
+    root = tmp_path_factory.mktemp("observatory")
+    flame = str(root / "pipeline.svg")
+    folded = str(root / "pipeline.folded")
+    ledger = str(root / "ledger")
+    assert (
+        main(
+            PROFILE_ARGS
+            + [
+                "--deterministic",
+                "--flame",
+                flame,
+                "--folded",
+                folded,
+                "--ledger-dir",
+                ledger,
+            ]
+        )
+        == 0
+    )
+    return flame, folded, ledger
+
+
+def _record_ids(ledger):
+    with open(ledger + "/ledger.jsonl", encoding="utf-8") as fh:
+        return [json.loads(line)["record_id"] for line in fh if line.strip()]
+
+
+class TestProfileCommand:
+    def test_artifacts_written(self, profiled):
+        flame, folded, ledger = profiled
+        with open(flame, encoding="utf-8") as fh:
+            svg = fh.read()
+        assert svg.startswith("<svg")
+        assert "repro pipeline" in svg
+        with open(folded, encoding="utf-8") as fh:
+            lines = fh.read().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert int(value) > 0
+            assert stack.split(";")[0] in ("model", "diff")
+        assert len(_record_ids(ledger)) == 1
+
+    def test_deterministic_rerun_is_byte_identical(self, profiled, tmp_path):
+        flame, folded, _ = profiled
+        flame2 = str(tmp_path / "again.svg")
+        folded2 = str(tmp_path / "again.folded")
+        assert (
+            main(
+                PROFILE_ARGS
+                + ["--deterministic", "--flame", flame2, "--folded", folded2]
+            )
+            == 0
+        )
+        with open(flame, "rb") as a, open(flame2, "rb") as b:
+            assert a.read() == b.read()
+        with open(folded, "rb") as a, open(folded2, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_stdout_reports_phases_and_functions(self, profiled, capsys, tmp_path):
+        assert main(PROFILE_ARGS + ["--deterministic", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "model" in out
+        assert "hot functions" in out
+        assert "excl events" in out
+
+    def test_folded_totals_reconcile_with_span_tree(self):
+        """Per-phase folded sums agree with span durations within 5%."""
+        from repro.obs import Tracer, attach_profiler, reconcile_phases
+        from repro.core.flowdiff import FlowDiff
+        from repro.scenarios import scalability_sim
+
+        network, workload = scalability_sim(2, seed=3)
+        workload.start(0.0, 5.0)
+        network.sim.run(until=8.0)
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        fd = FlowDiff(tracer=tracer)
+        baseline = fd.model(network.log)
+        fd.diff(baseline, fd.model(network.log, assess=False))
+        rows = reconcile_phases(tracer, profiler, min_seconds=0.05)
+        for row in rows:
+            assert row["rel_err"] < 0.05, row
+
+
+class TestRunsCommands:
+    @pytest.fixture(scope="class")
+    def ledger(self, tmp_path_factory):
+        root = str(tmp_path_factory.mktemp("runs") / "ledger")
+        for _ in range(2):
+            assert main(PROFILE_ARGS + ["--ledger-dir", root]) == 0
+        return root
+
+    def test_list(self, ledger, capsys):
+        assert main(["runs", "list", "--ledger-dir", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "scalability_sim(2 apps, 5s)" in out
+        assert main(["runs", "list", "--ledger-dir", ledger, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        # Same workload, same seed: records line up under one run id.
+        assert len({row["run_id"] for row in rows}) == 1
+
+    def test_show(self, ledger, capsys):
+        rid = _record_ids(ledger)[0]
+        assert main(["runs", "show", rid[:6], "--ledger-dir", ledger]) == 0
+        out = capsys.readouterr().out
+        assert rid in out
+        assert "phases:" in out
+        assert main(["runs", "show", "zzzz", "--ledger-dir", ledger]) == 2
+
+    def test_compare(self, ledger, capsys):
+        first, second = _record_ids(ledger)
+        assert (
+            main(["runs", "compare", first, second, "--ledger-dir", ledger])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(total)" in out
+        assert "model" in out
+
+    def test_gate_passes_against_itself(self, ledger, capsys):
+        rid = _record_ids(ledger)[-1]
+        assert (
+            main(
+                [
+                    "runs",
+                    "gate",
+                    rid,
+                    "--baseline",
+                    rid,
+                    "--ledger-dir",
+                    ledger,
+                ]
+            )
+            == 0
+        )
+        assert "gate PASSED" in capsys.readouterr().out
+
+    def test_gate_detects_injected_slowdown(self, ledger, tmp_path, capsys):
+        """A ~2x slowdown must fail the gate (the regression regression
+        test): double every phase of the latest record and gate it
+        against the genuine one."""
+        rid = _record_ids(ledger)[-1]
+        assert (
+            main(["runs", "show", rid, "--ledger-dir", ledger, "--json"]) == 0
+        )
+        record = json.loads(capsys.readouterr().out)
+        record["phases"] = {
+            k: v * 2.0 for k, v in record["phases"].items()
+        }
+        record["total_s"] *= 2.0
+        record.pop("record_id")
+        slowed = str(tmp_path / "slowed.json")
+        with open(slowed, "w", encoding="utf-8") as fh:
+            json.dump(record, fh)
+        # Write the slowed record into a second ledger and gate it
+        # against the honest baseline record (exported as a file).
+        from repro.obs.ledger import RunLedger, RunRecord
+
+        slow_dir = str(tmp_path / "slow-ledger")
+        RunLedger(slow_dir).append(RunRecord.from_dict(record))
+        honest = str(tmp_path / "honest.json")
+        assert (
+            main(["runs", "show", rid, "--ledger-dir", ledger, "--json"]) == 0
+        )
+        with open(honest, "w", encoding="utf-8") as fh:
+            fh.write(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "runs",
+                    "gate",
+                    "--baseline",
+                    honest,
+                    "--ledger-dir",
+                    slow_dir,
+                    "--tol-pct",
+                    "25",
+                ]
+            )
+            == 1
+        )
+        assert "gate FAILED" in capsys.readouterr().out
+
+    def test_gate_accepts_bench_baseline_shape(self, ledger, tmp_path, capsys):
+        """--baseline accepts a BENCH_pipeline.json-shaped payload."""
+        rid = _record_ids(ledger)[-1]
+        assert (
+            main(["runs", "show", rid, "--ledger-dir", ledger, "--json"]) == 0
+        )
+        record = json.loads(capsys.readouterr().out)
+        bench = {
+            "benchmark": "pipeline",
+            "seed": record["seed"],
+            "messages": record["messages"],
+            "phases": record["phases"],
+            "total_s": record["total_s"],
+            "obs_overhead": {"noise_floor_pct": 50.0},
+        }
+        path = str(tmp_path / "BENCH_pipeline.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(bench, fh)
+        assert (
+            main(
+                ["runs", "gate", rid, "--baseline", path, "--ledger-dir", ledger]
+            )
+            == 0
+        )
+
+    def test_gate_empty_ledger(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty")
+        assert (
+            main(
+                ["runs", "gate", "--baseline", "x", "--ledger-dir", empty]
+            )
+            == 2
+        )
+
+
+class TestRunsEndpoint:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        from repro.obs.httpd import ObsHTTPServer, ObsState
+        from repro.obs.ledger import RunLedger
+
+        root = str(tmp_path_factory.mktemp("httpd") / "ledger")
+        assert main(PROFILE_ARGS + ["--ledger-dir", root]) == 0
+        with ObsHTTPServer(ObsState(ledger=RunLedger(root))) as srv:
+            yield srv, root
+
+    def test_runs_listing(self, server):
+        srv, root = server
+        payload = json.loads(urllib.request.urlopen(srv.url("/runs")).read())
+        assert len(payload["records"]) == 1
+        assert payload["records"][0]["record_id"] == _record_ids(root)[0]
+        assert "folded" not in payload["records"][0]
+
+    def test_runs_by_id(self, server):
+        srv, root = server
+        rid = _record_ids(root)[0]
+        record = json.loads(
+            urllib.request.urlopen(srv.url(f"/runs?id={rid[:6]}")).read()
+        )
+        assert record["record_id"] == rid
+        assert record["phases"]
+
+    def test_runs_unknown_id_404(self, server):
+        srv, _ = server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(srv.url("/runs?id=zzzz"))
+        assert err.value.code == 404
+
+    def test_head_matches_get(self, server):
+        srv, _ = server
+        for path in ("/healthz", "/metrics", "/runs"):
+            body = urllib.request.urlopen(srv.url(path)).read()
+            head = urllib.request.urlopen(
+                urllib.request.Request(srv.url(path), method="HEAD")
+            )
+            assert int(head.headers["Content-Length"]) == len(body)
+            assert head.read() == b""
+
+    def test_head_unknown_is_404_no_body(self, server):
+        srv, _ = server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                urllib.request.Request(srv.url("/nope"), method="HEAD")
+            )
+        assert err.value.code == 404
+        assert err.value.read() == b""
+
+    def test_post_refused_with_allow_header(self, server):
+        srv, _ = server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                urllib.request.Request(
+                    srv.url("/runs"), data=b"{}", method="POST"
+                )
+            )
+        assert err.value.code == 405
+        assert err.value.headers["Allow"] == "GET, HEAD"
+
+    def test_no_ledger_configured(self):
+        from repro.obs.httpd import ObsHTTPServer, ObsState
+
+        with ObsHTTPServer(ObsState()) as srv:
+            payload = json.loads(
+                urllib.request.urlopen(srv.url("/runs")).read()
+            )
+        assert payload == {"records": []}

@@ -1,0 +1,256 @@
+"""The span-scoped function profiler: attribution, folding, determinism,
+and the reconciliation contract between span tree and folded profile."""
+
+import io
+import time
+import unittest
+
+from repro.obs.profiler import (
+    SpanProfiler,
+    _frame_key,
+    attach_profiler,
+    deterministic_timer,
+    merge_folded,
+    reconcile_phases,
+    render_function_table,
+)
+from repro.obs.tracing import Tracer
+
+
+def _spin(seconds):
+    """Burn CPU inside a named frame the profiler can attribute."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += 1
+    return total
+
+
+def _spin_other(seconds):
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += 2
+    return total
+
+
+class FrameKeyTest(unittest.TestCase):
+    def test_string_passthrough(self):
+        self.assertEqual(_frame_key("<built-in method sum>"), "<built-in method sum>")
+
+    def test_repro_path_is_relativized(self):
+        code = _spin.__code__
+        key = _frame_key(code)
+        self.assertTrue(key.endswith(":_spin"))
+        self.assertNotIn("\\", key)
+
+    def test_repro_module_cut_at_package(self):
+        from repro.obs import tracing
+
+        key = _frame_key(tracing.Tracer.span.__code__)
+        self.assertEqual(key, "repro/obs/tracing.py:span")
+
+
+class AttributionTest(unittest.TestCase):
+    def test_functions_billed_to_their_span(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        with tracer.span("model"):
+            with tracer.span("extract"):
+                _spin(0.02)
+            _spin_other(0.02)
+        folded = profiler.folded()
+        spin_keys = [k for k in folded if k.endswith(":_spin")]
+        other_keys = [k for k in folded if k.endswith(":_spin_other")]
+        self.assertTrue(spin_keys and other_keys)
+        # _spin ran inside model;extract, _spin_other inside model itself.
+        self.assertTrue(all(k.startswith("model;extract;") for k in spin_keys))
+        self.assertTrue(
+            all(
+                k.startswith("model;") and ";extract;" not in k
+                for k in other_keys
+            )
+        )
+
+    def test_same_function_billed_per_phase(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        with tracer.span("a"):
+            _spin(0.01)
+        with tracer.span("b"):
+            _spin(0.01)
+        folded = profiler.folded()
+        spin_lines = sorted(k for k in folded if k.endswith(":_spin"))
+        self.assertEqual(len(spin_lines), 2)
+        self.assertTrue(spin_lines[0].startswith("a;"))
+        self.assertTrue(spin_lines[1].startswith("b;"))
+
+    def test_off_by_default(self):
+        # A tracer without the hook records spans but no profile exists;
+        # a profiler never attached collects nothing.
+        tracer = Tracer()
+        profiler = SpanProfiler()
+        with tracer.span("model"):
+            _spin(0.005)
+        self.assertEqual(profiler.folded(), {})
+        self.assertEqual(profiler.function_rows(), [])
+
+    def test_mid_tree_close_is_ignored(self):
+        # A hook attached after a span opened sees a close for a span it
+        # never saw open — must not crash or mis-pop.
+        tracer = Tracer()
+        ctx = tracer.span("early")
+        profiler = attach_profiler(tracer)
+        with tracer.span("late"):
+            _spin(0.005)
+        ctx.__exit__(None, None, None)
+        folded = profiler.folded()
+        # "late" is the profiler's root — it never saw "early" open.
+        self.assertTrue(any(k.startswith("late;") for k in folded))
+        self.assertFalse(any(k.startswith("early;") for k in folded))
+        self.assertEqual(profiler._stack, [])
+
+    def test_exception_exit_still_collects(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        with self.assertRaises(ValueError):
+            with tracer.span("phase"):
+                _spin(0.005)
+                raise ValueError
+        self.assertTrue(profiler.folded())
+        self.assertEqual(profiler._stack, [])
+
+
+class FoldedOutputTest(unittest.TestCase):
+    def test_folded_lines_sorted_and_positive(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        with tracer.span("z"):
+            _spin(0.005)
+        with tracer.span("a"):
+            _spin(0.005)
+        lines = profiler.folded_lines()
+        self.assertEqual(lines, sorted(lines))
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            self.assertTrue(stack)
+            self.assertGreater(int(value), 0)
+
+    def test_write_folded_file_and_handle(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        with tracer.span("p"):
+            _spin(0.005)
+        buf = io.StringIO()
+        count = profiler.write_folded(buf)
+        text = buf.getvalue()
+        self.assertEqual(count, len(text.strip().splitlines()))
+        self.assertTrue(text.endswith("\n"))
+
+    def test_merge_folded_sums(self):
+        merged = merge_folded([{"a;f": 1.0, "b;g": 2.0}, {"a;f": 0.5}])
+        self.assertEqual(merged, {"a;f": 1.5, "b;g": 2.0})
+
+
+class DeterministicTimerTest(unittest.TestCase):
+    def _profile_once(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer, timer=deterministic_timer())
+        with tracer.span("model"):
+            with tracer.span("extract"):
+                sum(i * i for i in range(2000))
+            sorted(range(1000), key=lambda i: -i)
+        with tracer.span("diff"):
+            {i: str(i) for i in range(500)}
+        return profiler.folded_lines(scale=1.0)
+
+    def test_identical_runs_fold_identically(self):
+        self.assertEqual(self._profile_once(), self._profile_once())
+
+    def test_timer_is_monotonic_counter(self):
+        timer = deterministic_timer()
+        self.assertEqual([timer(), timer(), timer()], [1, 2, 3])
+
+
+class ReconciliationTest(unittest.TestCase):
+    def test_phase_totals_reconcile_within_five_percent(self):
+        # CPU-bound work inside spans: the folded (exclusive) totals per
+        # span-path prefix must reproduce the span wall time within 5%.
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        with tracer.span("model"):
+            with tracer.span("extract"):
+                _spin(0.08)
+            with tracer.span("signature"):
+                _spin(0.08)
+        rows = reconcile_phases(tracer, profiler, min_seconds=0.05)
+        self.assertTrue(rows)
+        for row in rows:
+            self.assertLess(row["rel_err"], 0.05, row)
+
+    def test_phase_totals_nest(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        with tracer.span("model"):
+            with tracer.span("extract"):
+                _spin(0.02)
+        totals = profiler.phase_totals()
+        self.assertIn("model", totals)
+        self.assertIn("model/extract", totals)
+        self.assertGreaterEqual(totals["model"], totals["model/extract"])
+
+
+class TableTest(unittest.TestCase):
+    def test_function_rows_ranked_and_filtered(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        with tracer.span("model"):
+            _spin(0.03)
+        with tracer.span("diff"):
+            _spin_other(0.005)
+        rows = profiler.function_rows(top=5)
+        self.assertLessEqual(len(rows), 5)
+        excl = [r["exclusive_s"] for r in rows]
+        self.assertEqual(excl, sorted(excl, reverse=True))
+        model_rows = profiler.function_rows(phase="model")
+        self.assertTrue(any(r["function"].endswith(":_spin") for r in model_rows))
+        self.assertFalse(
+            any(r["function"].endswith(":_spin_other") for r in model_rows)
+        )
+
+    def test_render_function_table(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer)
+        with tracer.span("p"):
+            _spin(0.005)
+        table = render_function_table(profiler, top=3)
+        self.assertIn("hot functions", table)
+        self.assertIn("excl ms", table)
+        empty = render_function_table(SpanProfiler())
+        self.assertIn("no profile collected", empty)
+
+    def test_render_function_table_events_unit(self):
+        tracer = Tracer()
+        profiler = attach_profiler(tracer, timer=deterministic_timer())
+        with tracer.span("p"):
+            _spin(0.002)
+        table = render_function_table(profiler, unit="events")
+        self.assertIn("excl events", table)
+
+
+class MetricsTest(unittest.TestCase):
+    def test_profiled_span_counter(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        attach_profiler(tracer, metrics=registry)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        counter = registry.counter("profile_spans_total")
+        self.assertEqual(counter.value, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -386,6 +386,34 @@ class TestMetricNames:
         (finding,) = result.findings
         assert "KNOWN_LABELS" in finding.message
 
+    def test_profile_family_is_declared(self):
+        # ``profile_*``/``runs_*`` membership is grammatical, like the
+        # telemetry family: the observatory mints instrument names
+        # without a manifest edit each.
+        mod = module(
+            """\
+            def instrument(metrics):
+                metrics.counter("profile_spans_total")
+                return metrics.counter("runs_records_total", status="append")
+            """,
+            name="repro.core.fakemetrics",
+        )
+        assert run(MetricNamesRule(), mod).ok
+
+    def test_profile_family_grammar_is_enforced(self):
+        # The family regex requires lowercase snake after the prefix —
+        # a malformed member is still an undeclared metric.
+        mod = module(
+            """\
+            def instrument(metrics):
+                return metrics.counter("profile_BadName")
+            """,
+            name="repro.core.fakemetrics",
+        )
+        result = run(MetricNamesRule(), mod)
+        (finding,) = result.findings
+        assert "KNOWN_METRICS" in finding.message
+
     def test_dynamic_name_outside_obs_is_flagged(self):
         mod = module(
             """\

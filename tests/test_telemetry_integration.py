@@ -156,7 +156,7 @@ def test_http_endpoint_serves_health_and_metrics(faulted_run):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request)
         assert excinfo.value.code == 405
-        assert excinfo.value.headers["Allow"] == "GET"
+        assert excinfo.value.headers["Allow"] == "GET, HEAD"
 
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(server.url("/nope"))
