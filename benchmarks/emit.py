@@ -28,6 +28,15 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_pipeline.json")
 BENCH_SEED = 3
 BENCH_DURATION = 30.0
 
+#: The ingest-throughput floor the ``repro runs gate`` CI job enforces:
+#: the pre-campaign end-to-end simulation rate (telemetry plane on) and
+#: the explicit speedup target of the raw-speed campaign. The floor is
+#: carried inside the emitted ``throughput`` section, so the gate reads
+#: it from the committed baseline rather than hard-coding it twice.
+INGEST_BASELINE_MSG_S = 15_711
+INGEST_TARGET_X = 3.0
+INGEST_MIN_MSG_S = round(INGEST_BASELINE_MSG_S * INGEST_TARGET_X)
+
 
 def _median(samples: "list[float]") -> float:
     """The sample median (midpoint mean for even counts)."""
@@ -51,6 +60,31 @@ def _spread_pct(samples: "list[float]") -> float:
     return (max(samples) - min(samples)) / mid * 100.0
 
 
+def _overhead_fields(raw_pct: float, noise_floor_pct: float) -> Dict[str, float]:
+    """Noise-aware reported overhead: the shared fields of every
+    overhead bench.
+
+    Instrumentation cannot make code faster, so a negative measured
+    overhead is scheduler luck by construction. When the negative value
+    sits inside the repeat noise floor it is reported as ``0.0`` — the
+    raw median ratio stays visible as ``overhead_raw_pct`` — instead of
+    publishing a nonsense number like the ``-6.72%`` an earlier baseline
+    carried. A negative value *beyond* the floor is deliberately left
+    unclamped: that shape means the bench itself is broken (wrong legs
+    compared, warm-up asymmetry), and the microbench floor assertion
+    (``overhead_pct >= -noise_floor_pct``) must fail loudly rather than
+    have the clamp paper over it.
+    """
+    clamped = raw_pct
+    if raw_pct < 0 and -raw_pct <= noise_floor_pct:
+        clamped = 0.0
+    return {
+        "overhead_pct": round(clamped, 3),
+        "overhead_raw_pct": round(raw_pct, 3),
+        "noise_floor_pct": round(noise_floor_pct, 3),
+    }
+
+
 def run_obs_overhead_bench(
     log: Any = None,
     seed: int = BENCH_SEED,
@@ -64,8 +98,10 @@ def run_obs_overhead_bench(
     on both legs. An earlier min-of-repeats version of this bench
     regularly reported *negative* overhead — two independent minima pick
     each side's luckiest sample, and the luckier lucky sample wins — so
-    the ratio now comes from medians and the repeat spread is recorded
-    explicitly as ``noise_floor_pct``. The contract this guards: the
+    the ratio now comes from medians, the repeat spread is recorded
+    explicitly as ``noise_floor_pct``, and residual within-floor
+    negatives are zeroed by :func:`_overhead_fields`. The contract this
+    guards: the
     instrumented path must stay within a few percent of the no-op path
     (asserted <5% by the microbench suite), because the sliding
     diagnoser runs instrumented in production.
@@ -93,16 +129,18 @@ def run_obs_overhead_bench(
         )
     noop_s = _median(noop_samples)
     instrumented_s = _median(instrumented_samples)
-    overhead_pct = (instrumented_s / noop_s - 1.0) * 100.0 if noop_s else 0.0
-    return {
+    out = {
         "noop_s": round(noop_s, 6),
         "instrumented_s": round(instrumented_s, 6),
-        "overhead_pct": round(overhead_pct, 3),
-        "noise_floor_pct": round(
-            max(_spread_pct(noop_samples), _spread_pct(instrumented_samples)), 3
-        ),
         "repeats": repeats,
     }
+    out.update(
+        _overhead_fields(
+            (instrumented_s / noop_s - 1.0) * 100.0 if noop_s else 0.0,
+            max(_spread_pct(noop_samples), _spread_pct(instrumented_samples)),
+        )
+    )
+    return out
 
 
 def run_profiler_overhead_bench(
@@ -148,21 +186,22 @@ def run_profiler_overhead_bench(
 
     baseline_s = _median(baseline_samples)
     off_s = _median(off_samples)
-    return {
+    out = {
         "baseline_s": round(baseline_s, 6),
         "profiler_off_s": round(off_s, 6),
-        "overhead_pct": round(
-            (off_s / baseline_s - 1.0) * 100.0 if baseline_s else 0.0, 3
-        ),
-        "noise_floor_pct": round(
-            max(_spread_pct(baseline_samples), _spread_pct(off_samples)), 3
-        ),
         "profiled_s": round(profiled_s, 6),
         "profiled_slowdown_x": round(
             profiled_s / baseline_s if baseline_s else 0.0, 3
         ),
         "repeats": repeats,
     }
+    out.update(
+        _overhead_fields(
+            (off_s / baseline_s - 1.0) * 100.0 if baseline_s else 0.0,
+            max(_spread_pct(baseline_samples), _spread_pct(off_samples)),
+        )
+    )
+    return out
 
 
 def run_ingest_bench(
@@ -181,9 +220,12 @@ def run_ingest_bench(
     * ``overhead_pct`` — telemetry-enabled vs ``NOOP_TELEMETRY``
       simulation time, median-of-``repeats`` interleaved with the repeat
       spread recorded as ``noise_floor_pct`` (same discipline as
-      :func:`run_obs_overhead_bench`); asserted <5% by the microbench
-      suite, because :class:`NoopTelemetry` is the production default and
-      turning the plane on must never be a scary decision.
+      :func:`run_obs_overhead_bench`). The microbench contract is on
+      ``overhead_us_per_message`` instead — the plane's cost per control
+      message is constant, so the percent form inflates whenever the
+      rest of the simulator speeds up — because :class:`NoopTelemetry`
+      is the production default and turning the plane on must never be a
+      scary decision.
     """
     from repro.obs.telemetry import NOOP_TELEMETRY, TelemetryPlane
     from repro.scenarios import three_tier_lab
@@ -212,18 +254,31 @@ def run_ingest_bench(
         series.record(i * 1e-3, 0.5)
     raw_s = time.perf_counter() - started
 
-    return {
+    out = {
         "raw_samples_per_s": round(raw_samples / raw_s) if raw_s else 0,
         "messages": messages,
         "messages_per_s": round(messages / on_s) if on_s else 0,
         "telemetry_off_s": round(off_s, 6),
         "telemetry_on_s": round(on_s, 6),
-        "overhead_pct": round((on_s / off_s - 1.0) * 100.0, 3) if off_s else 0.0,
-        "noise_floor_pct": round(
-            max(_spread_pct(off_samples), _spread_pct(on_samples)), 3
-        ),
+        # The plane's absolute cost. ``overhead_pct`` divides a constant
+        # per-message cost by however fast the rest of the simulator
+        # happens to be, so every ingest speedup inflates it with no
+        # telemetry change at all; this is the speed-independent number
+        # the microbench budget is asserted against.
+        "overhead_us_per_message": round(
+            (on_s - off_s) / messages * 1e6, 3
+        )
+        if messages
+        else 0.0,
         "repeats": repeats,
     }
+    out.update(
+        _overhead_fields(
+            (on_s / off_s - 1.0) * 100.0 if off_s else 0.0,
+            max(_spread_pct(off_samples), _spread_pct(on_samples)),
+        )
+    )
+    return out
 
 
 def run_parallel_cache_bench(repeats: int = 7) -> Dict[str, Any]:
@@ -303,6 +358,61 @@ def run_parallel_cache_bench(repeats: int = 7) -> Dict[str, Any]:
     }
 
 
+def throughput_section(
+    telemetry: Dict[str, Any],
+    phases: Dict[str, float],
+    group_signatures: int,
+    stability_parts: int,
+) -> Dict[str, Any]:
+    """The ``throughput`` section of the payload: rates, not durations.
+
+    Raw durations hide regressions when the workload drifts with them —
+    a 2x message count excuses a 2x phase time in a duration-only diff.
+    Rates don't, so the gate floors live here:
+
+    * ``simulate`` — end-to-end control-message ingest (telemetry plane
+      on, from :func:`run_ingest_bench`'s enabled leg) in messages per
+      wall second, against the committed pre-campaign baseline and the
+      campaign's explicit >=``target_x`` floor. ``repro runs gate``
+      reads ``min_messages_per_s`` from this section and fails the
+      build when the measured rate lands below it (noise-aware: the
+      floor is relaxed by the gate tolerance and this section's own
+      ``noise_floor_pct``).
+    * ``model`` — signatures materialized per second of the benched
+      ``model`` phase. The phase accumulates both benched passes, so the
+      nominal build count is one signature per group for the full window
+      twice (assess on + off) plus one per group per stability interval
+      (interval group counts can differ slightly from the full window's;
+      the count is nominal, the seconds are measured).
+      ``stability_share_pct`` restates the campaign's other target —
+      stability assessment staying a minority of model time — directly
+      in the payload.
+    """
+    msg_s = int(telemetry.get("messages_per_s", 0))
+    model_s = phases.get("model", 0.0)
+    stability_s = phases.get("model/stability", 0.0)
+    built = group_signatures * (stability_parts + 2)
+    return {
+        "simulate": {
+            "messages_per_s": msg_s,
+            "baseline_messages_per_s": INGEST_BASELINE_MSG_S,
+            "target_x": INGEST_TARGET_X,
+            "min_messages_per_s": INGEST_MIN_MSG_S,
+            "achieved_x": round(msg_s / INGEST_BASELINE_MSG_S, 3),
+            "noise_floor_pct": telemetry.get("noise_floor_pct", 0.0),
+        },
+        "model": {
+            "group_signatures": group_signatures,
+            "signatures_nominal": built,
+            "model_s": round(model_s, 6),
+            "signatures_per_s": round(built / model_s) if model_s else 0,
+            "stability_share_pct": round(stability_s / model_s * 100.0, 2)
+            if model_s
+            else 0.0,
+        },
+    }
+
+
 def run_pipeline_bench(
     seed: int = BENCH_SEED, duration: float = BENCH_DURATION, repeats: int = 3
 ) -> Dict[str, Any]:
@@ -313,7 +423,9 @@ def run_pipeline_bench(
     diffing pipeline and the fastest repeat is reported, pytest-benchmark
     style, to suppress scheduler noise. The payload also records the
     observability on/off timing pair (see :func:`run_obs_overhead_bench`)
-    so the enabled-path overhead is diffable commit to commit.
+    so the enabled-path overhead is diffable commit to commit, and the
+    rate-based :func:`throughput_section` whose ingest floor the
+    ``repro runs gate`` CI job enforces.
     """
     from repro import FlowDiff
     from repro.obs import Tracer, phase_timings
@@ -322,6 +434,7 @@ def run_pipeline_bench(
     log = three_tier_lab(seed=seed).run(0.5, duration)
 
     best: Dict[str, float] = {}
+    baseline = None
     for _ in range(max(1, repeats)):
         tracer = Tracer()
         fd = FlowDiff(tracer=tracer)
@@ -334,6 +447,7 @@ def run_pipeline_bench(
         ):
             best = timings
 
+    telemetry = run_ingest_bench(seed=seed, duration=duration)
     return {
         "benchmark": "pipeline",
         "seed": seed,
@@ -341,9 +455,15 @@ def run_pipeline_bench(
         "messages": len(log),
         "phases": {name: round(seconds, 6) for name, seconds in sorted(best.items())},
         "total_s": round(best.get("model", 0.0) + best.get("diff", 0.0), 6),
+        "throughput": throughput_section(
+            telemetry,
+            best,
+            len(baseline.app_signatures),
+            FlowDiff().config.stability_parts,
+        ),
         "obs_overhead": run_obs_overhead_bench(log=log),
         "profiler": run_profiler_overhead_bench(log=log),
-        "telemetry": run_ingest_bench(seed=seed, duration=duration),
+        "telemetry": telemetry,
         "parallel": run_parallel_cache_bench(),
         "python": platform.python_version(),
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),

@@ -117,6 +117,7 @@ def test_obs_overhead_under_five_percent(lab_log):
             break
     assert result["overhead_pct"] < 5.0, result
     assert "noise_floor_pct" in result and result["noise_floor_pct"] >= 0.0
+    _assert_overhead_not_below_noise_floor(result)
 
 
 def test_profiler_off_overhead_under_five_percent(lab_log):
@@ -139,15 +140,25 @@ def test_profiler_off_overhead_under_five_percent(lab_log):
     assert result["overhead_pct"] < 5.0, result
     assert "noise_floor_pct" in result and result["noise_floor_pct"] >= 0.0
     assert result["profiled_slowdown_x"] > 0.0
+    _assert_overhead_not_below_noise_floor(result)
 
 
-def test_telemetry_overhead_under_five_percent():
-    """Simulating with the telemetry plane on must cost <5% over noop.
+TELEMETRY_BUDGET_US_PER_MSG = 6.0
 
-    Same contract as the obs overhead gate, one layer down: every packet
-    delivery, table install, and RPC completion samples the plane when it
-    is enabled, so a regression here multiplies across the whole
-    simulation. Recorded in BENCH_pipeline.json as ``telemetry``.
+
+def test_telemetry_overhead_budget_per_message():
+    """Enabling the telemetry plane must cost <6µs per control message.
+
+    Every packet delivery, table install, and RPC completion samples the
+    plane when it is enabled, so a regression here multiplies across the
+    whole simulation. The budget is *absolute* on purpose: the plane's
+    per-message cost is constant, so a percent-of-simulation contract
+    (this test asserted <5% before the raw-speed campaign) silently
+    tightens every time the simulator gets faster and silently loosens
+    when it regresses — exactly the bench math that hides what changed.
+    The committed pre-campaign cost was ~4.5µs/message; the campaign
+    left the plane untouched and the budget leaves headroom above it.
+    Recorded in BENCH_pipeline.json as ``telemetry``.
     """
     emitter = _load_emitter()
     # Median-of-N suppresses most scheduler noise, but on a single-CPU
@@ -157,9 +168,100 @@ def test_telemetry_overhead_under_five_percent():
     result = None
     for _ in range(3):
         result = emitter.run_ingest_bench(duration=15.0, repeats=7)
-        if result["overhead_pct"] < 5.0:
+        if result["overhead_us_per_message"] < TELEMETRY_BUDGET_US_PER_MSG:
             break
-    assert result["overhead_pct"] < 5.0, result
+    assert result["overhead_us_per_message"] < TELEMETRY_BUDGET_US_PER_MSG, result
     assert "noise_floor_pct" in result and result["noise_floor_pct"] >= 0.0
     assert result["raw_samples_per_s"] > 0
     assert result["messages_per_s"] > 0
+    _assert_overhead_not_below_noise_floor(result)
+
+
+def _assert_overhead_not_below_noise_floor(result):
+    """No bench may publish an overhead below its own noise floor.
+
+    A reported overhead more negative than the repeat spread cannot be
+    scheduler luck (the clamp in ``_overhead_fields`` zeroes within-floor
+    negatives and leaves beyond-floor ones visible on purpose): it means
+    the bench compared the wrong legs or warmed them asymmetrically.
+    """
+    assert result["overhead_pct"] >= -result["noise_floor_pct"], result
+    assert "overhead_raw_pct" in result, result
+
+
+def test_overhead_clamp_semantics():
+    """`_overhead_fields`: within-floor negatives report 0, beyond-floor
+    negatives stay visible, positives pass through untouched."""
+    emitter = _load_emitter()
+    lucky = emitter._overhead_fields(-6.722, 11.61)
+    assert lucky["overhead_pct"] == 0.0
+    assert lucky["overhead_raw_pct"] == -6.722
+    assert lucky["noise_floor_pct"] == 11.61
+    broken = emitter._overhead_fields(-25.0, 11.61)
+    assert broken["overhead_pct"] == -25.0  # loud, fails the floor assert
+    real = emitter._overhead_fields(3.4, 11.61)
+    assert real["overhead_pct"] == 3.4
+    assert real["overhead_raw_pct"] == 3.4
+
+
+def test_throughput_section_floors_and_rates():
+    """The throughput section carries the campaign's explicit gate floor
+    (3x the pre-campaign 15,711 msg/s ingest baseline) plus the measured
+    rates the ``repro runs gate`` floor check consumes."""
+    emitter = _load_emitter()
+    assert emitter.INGEST_MIN_MSG_S == round(15_711 * 3.0) == 47_133
+    section = emitter.throughput_section(
+        {"messages_per_s": 50_000, "noise_floor_pct": 7.5},
+        {"model": 0.2, "model/stability": 0.04},
+        group_signatures=4,
+        stability_parts=3,
+    )
+    simulate = section["simulate"]
+    assert simulate["messages_per_s"] == 50_000
+    assert simulate["baseline_messages_per_s"] == 15_711
+    assert simulate["min_messages_per_s"] == 47_133
+    assert simulate["achieved_x"] == round(50_000 / 15_711, 3)
+    assert simulate["noise_floor_pct"] == 7.5
+    model = section["model"]
+    assert model["signatures_nominal"] == 4 * 5  # 2 full passes + 3 intervals
+    assert model["signatures_per_s"] == round(20 / 0.2)
+    assert model["stability_share_pct"] == 20.0
+
+
+def test_emitted_payload_gates_green(lab_log):
+    """End-to-end: a freshly emitted payload adapts into a gate baseline
+    whose throughput floor a matching profile record passes, and which
+    fails a record that lost the campaign's ingest speedup."""
+    from repro.obs.ledger import RunRecord, gate_records
+
+    emitter = _load_emitter()
+    telemetry = emitter.run_ingest_bench(duration=10.0, repeats=3)
+    payload = {
+        "benchmark": "pipeline",
+        "messages": telemetry["messages"],
+        "phases": {"model": 0.1},
+        "total_s": 0.1,
+        "throughput": emitter.throughput_section(
+            telemetry, {"model": 0.1, "model/stability": 0.02}, 4, 3
+        ),
+    }
+    baseline = RunRecord.from_bench(payload, source="BENCH_pipeline.json")
+    assert baseline.metrics["messages_per_s"] == telemetry["messages_per_s"]
+
+    def record(rate):
+        return RunRecord(
+            run_id="r", command="profile", scenario="lab", seed=3,
+            messages=telemetry["messages"], phases={"model": 0.1},
+            total_s=0.1, metrics={"messages_per_s": rate},
+        )
+
+    # Same cross-machine tolerance the CI perf-gate job uses: the floor
+    # relaxes to min/(1 + 100/100), so this asserts exactly what the CI
+    # gate enforces, no more.
+    current = record(telemetry["messages_per_s"])
+    result = gate_records(current, baseline, tolerance_pct=100.0)
+    assert result.floors and result.floors[0]["ok"], result.to_dict()
+    assert result.ok
+    slow = record(emitter.INGEST_BASELINE_MSG_S)  # pre-campaign speed
+    result = gate_records(slow, baseline, tolerance_pct=100.0)
+    assert not result.ok and not result.floors[0]["ok"]

@@ -374,18 +374,34 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 
 
 def _profile_log(args: argparse.Namespace):
-    """Build the capture the profiled pipeline runs over."""
+    """Build the capture the profiled pipeline runs over.
+
+    Returns ``(log, scenario, sim_wall_s)`` — the simulation wall time
+    rides along so the ledger record can carry the measured ingest rate
+    (``messages_per_s``), which is what the throughput floor of
+    ``repro runs gate`` checks against the committed benchmark baseline.
+    """
+    import time as _time
+
     if args.scenario == "scalability":
         from repro.scenarios import scalability_sim
 
         network, workload = scalability_sim(args.apps, seed=args.seed)
         workload.start(0.0, args.duration)
+        started = _time.perf_counter()
         network.sim.run(until=args.duration + 3.0)
-        return network.log, f"scalability_sim({args.apps} apps, {args.duration:g}s)"
+        elapsed = _time.perf_counter() - started
+        return (
+            network.log,
+            f"scalability_sim({args.apps} apps, {args.duration:g}s)",
+            elapsed,
+        )
     from repro.scenarios import three_tier_lab
 
+    started = _time.perf_counter()
     log = three_tier_lab(seed=args.seed).run(0.5, args.duration)
-    return log, f"three_tier_lab({args.duration:g}s)"
+    elapsed = _time.perf_counter() - started
+    return log, f"three_tier_lab({args.duration:g}s)", elapsed
 
 
 def _profile_pass(config: FlowDiffConfig, log, tracer: Tracer):
@@ -406,7 +422,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
 
     config = _config(args)
-    log, scenario = _profile_log(args)
+    log, scenario, sim_wall_s = _profile_log(args)
 
     # Timing pass(es): instrumented with spans only, no profiler, so the
     # recorded phase numbers are comparable with BENCH_pipeline.json and
@@ -480,6 +496,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 metrics={
                     "unknown_changes": len(report.unknown_changes),
                     "known_changes": len(report.known_changes),
+                    # Measured ingest rate of the scenario simulation
+                    # that produced this capture — the current side of
+                    # the gate's throughput floor.
+                    "messages_per_s": (
+                        round(len(log) / sim_wall_s) if sim_wall_s else 0
+                    ),
                 },
                 folded=None if args.no_ledger_profile else folded,
                 repeats=max(1, args.repeats),

@@ -22,12 +22,12 @@ distinct arrivals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.occurrence import splits_occurrence
 from repro.openflow.log import ControllerLog
 from repro.openflow.match import FlowKey
-from repro.openflow.messages import FlowMod, FlowRemoved, PacketIn
+from repro.openflow.messages import FlowMod, FlowRemoved, PacketIn, PortStatus
 
 
 @dataclass(frozen=True)
@@ -268,6 +268,224 @@ def join_flow_records(
             )
         )
     return records
+
+
+@dataclass
+class LogPartition:
+    """A controller log partitioned into time intervals in one pass.
+
+    The shared plan behind both the sharded parallel pipeline
+    (:mod:`repro.core.parallel`) and the serial stability fast path
+    (:mod:`repro.core.stability`): ``PacketIn``/``FlowRemoved`` messages
+    are bucketed by interval while ``FlowMod`` replies stay global,
+    keyed by ``in_reply_to`` (a pairing that is position-independent and
+    therefore safe to consult from any interval).
+
+    Attributes:
+        mods_by_reply: every ``FlowMod``, keyed by its reply buffer id.
+        pins_by_interval: ``PacketIn`` messages bucketed by interval.
+        removed_by_interval: ``FlowRemoved`` messages bucketed likewise.
+        removed_all: all ``FlowRemoved`` messages in log order.
+        port_down: ``(timestamp, dpid, port)`` for each port-down event.
+    """
+
+    mods_by_reply: Dict[int, FlowMod]
+    pins_by_interval: List[List[PacketIn]]
+    removed_by_interval: List[List[FlowRemoved]]
+    removed_all: List[FlowRemoved]
+    port_down: List[Tuple[float, str, int]]
+
+
+def partition_log(
+    log: ControllerLog,
+    bounds: Sequence[Tuple[float, float]],
+    collect_pins: bool = True,
+) -> Tuple[Optional[LogPartition], Optional[str]]:
+    """Bucket a log's messages into the given time intervals, or decline.
+
+    Returns ``(partition, None)`` on success and ``(None, reason)`` when
+    the log cannot be partitioned without changing pairing semantics:
+    ``FlowMod`` replies lacking ``in_reply_to`` (the ordered fallback
+    consumption is stateful across the whole window) or duplicate reply
+    ids (the winning reply would depend on the slice). Messages before
+    the first upper bound land in interval 0 and messages at or after
+    the last lower bound land in the final interval, so callers must
+    only partition over the log's full time span.
+
+    ``collect_pins=False`` skips the ``PacketIn`` bucketing (the
+    buckets stay empty) for callers that already hold extracted
+    arrivals and only need the reply-id validation plus the
+    ``FlowRemoved`` buckets.
+    """
+    n = len(bounds)
+    mods_by_reply: Dict[int, FlowMod] = {}
+    pins_by_interval: List[List[PacketIn]] = [[] for _ in range(n)]
+    removed_by_interval: List[List[FlowRemoved]] = [[] for _ in range(n)]
+    removed_all: List[FlowRemoved] = []
+    port_down: List[Tuple[float, str, int]] = []
+    uppers = [b for _, b in bounds]
+    idx = 0
+    for msg in log:
+        kind = type(msg)
+        if kind is PacketIn or kind is FlowRemoved:
+            ts = msg.timestamp
+            while idx < n - 1 and ts >= uppers[idx]:
+                idx += 1
+            if kind is PacketIn:
+                if collect_pins:
+                    pins_by_interval[idx].append(msg)
+            else:
+                removed_all.append(msg)
+                removed_by_interval[idx].append(msg)
+        elif kind is FlowMod:
+            reply_id = msg.in_reply_to
+            if reply_id is None:
+                return None, "flowmod_without_reply_id"
+            if reply_id in mods_by_reply:
+                return None, "duplicate_flowmod_reply_id"
+            mods_by_reply[reply_id] = msg
+        elif kind is PortStatus and not msg.live:
+            port_down.append((msg.timestamp, msg.dpid, msg.port))
+    return (
+        LogPartition(
+            mods_by_reply=mods_by_reply,
+            pins_by_interval=pins_by_interval,
+            removed_by_interval=removed_by_interval,
+            removed_all=removed_all,
+            port_down=port_down,
+        ),
+        None,
+    )
+
+
+def build_occurrence_runs(
+    pins: Sequence[PacketIn],
+    mods_by_reply: Dict[int, FlowMod],
+    occurrence_gap: float,
+) -> Dict[FlowKey, List[List[HopReport]]]:
+    """Group time-ordered ``PacketIn`` messages into per-flow occurrence runs.
+
+    The core grouping step shared by the parallel shard workers and the
+    serial stability fast path: consecutive reports of one 5-tuple within
+    ``occurrence_gap`` seconds extend the current run; a larger gap starts
+    a new one. ``FlowMod`` pairing is by reply buffer id only — callers
+    must have verified (via :func:`partition_log`) that every ``FlowMod``
+    carries a unique ``in_reply_to``.
+    """
+    runs: Dict[FlowKey, List[List[HopReport]]] = {}
+    last_ts: Dict[FlowKey, float] = {}
+    for pin in pins:
+        mod = mods_by_reply.get(pin.buffer_id)
+        hop = HopReport(
+            dpid=pin.dpid,
+            in_port=pin.in_port,
+            packet_in_at=pin.timestamp,
+            flow_mod_at=mod.timestamp if mod else None,
+            out_port=mod.out_port if mod else None,
+        )
+        flow = pin.flow
+        prev = last_ts.get(flow)
+        if prev is not None and not splits_occurrence(prev, pin.timestamp, occurrence_gap):
+            runs[flow][-1].append(hop)
+        else:
+            runs.setdefault(flow, []).append([hop])
+        last_ts[flow] = pin.timestamp
+    return runs
+
+
+def interval_flow_records(
+    runs: Dict[FlowKey, List[List[HopReport]]],
+    removed: Sequence[FlowRemoved],
+    a: float,
+    b: float,
+) -> List[FlowRecord]:
+    """An interval-semantics view of occurrence runs, joined with expiries.
+
+    Mirrors what a serial ``log.window(a, b)`` rebuild would extract:
+    only reports with ``a <= ts < b`` exist, so runs are truncated at the
+    interval end and ``FlowMod`` pairings outside ``[a, b)`` are dropped
+    (the hop keeps its ``PacketIn`` but loses the reply, exactly as if
+    the controller had never answered inside the slice). ``removed`` is
+    filtered to the slice the same way.
+    """
+    arrivals: List[FlowArrival] = []
+    for flow, flow_runs in runs.items():
+        for hops in flow_runs:
+            ihops = [h for h in hops if h.packet_in_at < b]
+            if not ihops:
+                continue
+            arrivals.append(
+                FlowArrival(
+                    flow=flow,
+                    time=ihops[0].packet_in_at,
+                    hops=tuple(
+                        h
+                        if h.flow_mod_at is None or a <= h.flow_mod_at < b
+                        else HopReport(
+                            dpid=h.dpid,
+                            in_port=h.in_port,
+                            packet_in_at=h.packet_in_at,
+                        )
+                        for h in ihops
+                    ),
+                )
+            )
+    arrivals.sort(key=arrival_sort_key)
+    return join_flow_records(arrivals, [r for r in removed if r.timestamp < b])
+
+
+def interval_flow_records_from_arrivals(
+    arrivals: Sequence[FlowArrival],
+    removed: Sequence[FlowRemoved],
+    a: float,
+    b: float,
+) -> List[FlowRecord]:
+    """The ``[a, b)`` interval view sliced out of full-window arrivals.
+
+    Equivalent to :func:`interval_flow_records` over runs built from the
+    interval's own ``PacketIn`` bucket: a full-window run's hops are
+    time-ordered, so the hops falling inside ``[a, b)`` are a contiguous
+    slice, and the occurrence-gap splits between them are the same ones
+    per-interval grouping would make. Valid only when every ``FlowMod``
+    pairing came via a unique ``in_reply_to`` (the
+    :func:`partition_log` precondition) — positional fallback pairing is
+    window-dependent and would diverge.
+
+    Arrivals wholly inside the interval are reused as-is, so the common
+    case allocates nothing per arrival.
+    """
+    out: List[FlowArrival] = []
+    for arrival in arrivals:
+        hops = arrival.hops
+        if a <= hops[0].packet_in_at and hops[-1].packet_in_at < b:
+            if all(
+                h.flow_mod_at is None or a <= h.flow_mod_at < b for h in hops
+            ):
+                out.append(arrival)
+                continue
+            ihops = list(hops)
+        else:
+            ihops = [h for h in hops if a <= h.packet_in_at < b]
+            if not ihops:
+                continue
+        out.append(
+            FlowArrival(
+                flow=arrival.flow,
+                time=ihops[0].packet_in_at,
+                hops=tuple(
+                    h
+                    if h.flow_mod_at is None or a <= h.flow_mod_at < b
+                    else HopReport(
+                        dpid=h.dpid,
+                        in_port=h.in_port,
+                        packet_in_at=h.packet_in_at,
+                    )
+                    for h in ihops
+                ),
+            )
+        )
+    out.sort(key=arrival_sort_key)
+    return join_flow_records(out, [r for r in removed if r.timestamp < b])
 
 
 def timed_flows(log: ControllerLog, dedup_window: float = 0.0) -> List[Tuple[float, FlowKey]]:

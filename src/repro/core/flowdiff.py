@@ -210,6 +210,11 @@ class FlowDiff:
                     parts=self.config.stability_parts,
                     thresholds=self.config.stability,
                     window=window,
+                    # The full-window signatures and arrivals were just
+                    # built above — don't let the assessment re-derive
+                    # either from the log.
+                    full=app_sigs,
+                    arrivals=[r.arrival for r in records],
                 )
         return BehaviorModel(
             app_signatures=app_sigs,

@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.timeseries import split_intervals
@@ -43,7 +42,10 @@ from repro.core.events import (
     FlowArrival,
     HopReport,
     arrival_sort_key,
+    build_occurrence_runs,
+    interval_flow_records,
     join_flow_records,
+    partition_log,
     splits_occurrence,
 )
 from repro.core.model import BehaviorModel
@@ -55,7 +57,6 @@ from repro.core.signatures.infrastructure import build_infrastructure_signature
 from repro.core.stability import assess_stability
 from repro.openflow.log import ControllerLog
 from repro.openflow.match import FlowKey
-from repro.openflow.messages import FlowMod, FlowRemoved, PacketIn, PortStatus
 
 #: A run of hop reports belonging to one flow occurrence (mutable while
 #: being grown/stitched, frozen into a FlowArrival at the end).
@@ -104,60 +105,22 @@ def _extract_shard(
     shared = _SHARED
     assert shared is not None, "_extract_shard called without a shard plan"
     started = time.perf_counter()
-    pins: List[PacketIn] = shared["pins_by_shard"][index]
-    mods_by_reply: Dict[int, FlowMod] = shared["mods_by_reply"]
-    gap: float = shared["occurrence_gap"]
-
-    runs: Dict[FlowKey, List[Run]] = {}
-    last_ts: Dict[FlowKey, float] = {}
-    for pin in pins:
-        mod = mods_by_reply.get(pin.buffer_id)
-        hop = HopReport(
-            dpid=pin.dpid,
-            in_port=pin.in_port,
-            packet_in_at=pin.timestamp,
-            flow_mod_at=mod.timestamp if mod else None,
-            out_port=mod.out_port if mod else None,
-        )
-        flow = pin.flow
-        prev = last_ts.get(flow)
-        if prev is not None and not splits_occurrence(prev, pin.timestamp, gap):
-            runs[flow][-1].append(hop)
-        else:
-            runs.setdefault(flow, []).append([hop])
-        last_ts[flow] = pin.timestamp
+    runs = build_occurrence_runs(
+        shared["pins_by_shard"][index],
+        shared["mods_by_reply"],
+        shared["occurrence_gap"],
+    )
 
     interval_sigs: Optional[Dict[str, ApplicationSignature]] = None
     if shared["build_interval_sigs"]:
         a, b = shared["bounds"][index]
-        # Interval semantics mirror the serial `log.window(a, b)` rebuild:
-        # only reports with a <= ts < b exist, so runs are truncated at the
-        # slice end (the trailing filter only bites in the final shard,
-        # which also holds the ts == t_end reports for the *full* view)
-        # and FlowMod pairings outside [a, b) are dropped.
-        interval_arrivals: List[FlowArrival] = []
-        for flow, flow_runs in runs.items():
-            for hops in flow_runs:
-                ihops = [h for h in hops if h.packet_in_at < b]
-                if not ihops:
-                    continue
-                interval_arrivals.append(
-                    FlowArrival(
-                        flow=flow,
-                        time=ihops[0].packet_in_at,
-                        hops=tuple(
-                            h
-                            if h.flow_mod_at is None or a <= h.flow_mod_at < b
-                            else replace(h, flow_mod_at=None, out_port=None)
-                            for h in ihops
-                        ),
-                    )
-                )
-        interval_arrivals.sort(key=arrival_sort_key)
-        removed = [
-            r for r in shared["removed_by_shard"][index] if r.timestamp < b
-        ]
-        interval_records = join_flow_records(interval_arrivals, removed)
+        # Interval semantics mirror the serial `log.window(a, b)` rebuild
+        # (see interval_flow_records): the trailing truncation only bites
+        # in the final shard, which also holds the ts == t_end reports
+        # for the *full* view.
+        interval_records = interval_flow_records(
+            runs, shared["removed_by_shard"][index], a, b
+        )
         interval_sigs = build_application_signatures(
             None, shared["sig_config"], window=(a, b), records=interval_records
         )
@@ -244,42 +207,18 @@ def parallel_model(
     bounds = split_intervals(span_start, span_end, n)
 
     with tracer.span("shard-plan", shards=n):
-        fallback_reason: Optional[str] = None
-        mods_by_reply: Dict[int, FlowMod] = {}
-        pins_by_shard: List[List[PacketIn]] = [[] for _ in range(n)]
-        removed_by_shard: List[List[FlowRemoved]] = [[] for _ in range(n)]
-        removed_all: List[FlowRemoved] = []
-        port_down: List[Tuple[float, str, int]] = []
-        uppers = [b for _, b in bounds]
-        idx = 0
-        for msg in log:
-            kind = type(msg)
-            if kind is PacketIn or kind is FlowRemoved:
-                ts = msg.timestamp
-                while idx < n - 1 and ts >= uppers[idx]:
-                    idx += 1
-                if kind is PacketIn:
-                    pins_by_shard[idx].append(msg)
-                else:
-                    removed_all.append(msg)
-                    removed_by_shard[idx].append(msg)
-            elif kind is FlowMod:
-                reply_id = msg.in_reply_to
-                if reply_id is None:
-                    fallback_reason = "flowmod_without_reply_id"
-                    break
-                if reply_id in mods_by_reply:
-                    fallback_reason = "duplicate_flowmod_reply_id"
-                    break
-                mods_by_reply[reply_id] = msg
-            elif kind is PortStatus and not msg.live:
-                port_down.append((msg.timestamp, msg.dpid, msg.port))
+        partition, fallback_reason = partition_log(log, bounds)
 
-    if fallback_reason is not None:
+    if partition is None:
         metrics.counter(
             "flowdiff_parallel_fallback_total", reason=fallback_reason
         ).inc()
         return None
+    mods_by_reply = partition.mods_by_reply
+    pins_by_shard = partition.pins_by_interval
+    removed_by_shard = partition.removed_by_interval
+    removed_all = partition.removed_all
+    port_down = partition.port_down
 
     workers = _effective_workers(config.jobs, n)
     if use_processes is None:

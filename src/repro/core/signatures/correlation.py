@@ -182,11 +182,22 @@ class PartialCorrelation(Signature):
                 return r
         return 0.0
 
+    def value_map(self) -> Dict[EdgePair, float]:
+        """All correlations as a dict (the linear batch form of ``value``).
+
+        ``distance`` and the vectorized stability path
+        (:mod:`repro.core.vectorized`) both consume this instead of
+        calling :meth:`value` per pair, which rescans ``correlations``.
+        """
+        return dict(self.correlations)
+
     def distance(self, other: "PartialCorrelation") -> float:
         """Largest correlation delta across common pairs."""
         worst = 0.0
-        for pair in set(self.pairs()) & set(other.pairs()):
-            worst = max(worst, abs(self.value(pair) - other.value(pair)))
+        mine = self.value_map()
+        theirs = other.value_map()
+        for pair in set(mine) & set(theirs):
+            worst = max(worst, abs(mine[pair] - theirs[pair]))
         return worst
 
     def diff(

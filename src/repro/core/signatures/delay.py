@@ -266,11 +266,32 @@ class DelayDistribution(Signature):
         """Empirical CDF of one pair's first-pairing delays (Figure 9(b))."""
         return EmpiricalCDF.from_values(self.first_samples_for(pair))
 
+    def peak_map(self, prominence: float = 1.5) -> Dict[EdgePair, float]:
+        """:meth:`dominant_peak` for every sampled pair, in one pass.
+
+        Per-pair :meth:`dominant_peak` calls rescan ``peaks`` each time,
+        which makes pairwise distances quadratic in the pair count; this
+        is the linear batch form ``distance`` and the vectorized
+        stability path (:mod:`repro.core.vectorized`) share. Values are
+        the dominant delay, or ``-1.0`` for unknown/multi-modal pairs.
+        """
+        peaks_by_pair = dict(self.peaks)
+        out: Dict[EdgePair, float] = {}
+        for pair, _vals in self.samples:
+            pk = peaks_by_pair.get(pair)
+            if not pk or (len(pk) > 1 and pk[0][1] < prominence * pk[1][1]):
+                out[pair] = -1.0
+            else:
+                out[pair] = pk[0][0]
+        return out
+
     def distance(self, other: "DelayDistribution") -> float:
         """Largest dominant-peak shift (seconds) across common edge pairs."""
         worst = 0.0
-        for pair in set(self.pairs()) & set(other.pairs()):
-            p1, p2 = self.dominant_peak(pair), other.dominant_peak(pair)
+        mine = self.peak_map()
+        theirs = other.peak_map()
+        for pair in set(mine) & set(theirs):
+            p1, p2 = mine[pair], theirs[pair]
             if p1 >= 0 and p2 >= 0:
                 worst = max(worst, abs(p1 - p2))
         return worst

@@ -257,15 +257,26 @@ class FlowStats(Signature):
         """Empirical CDF of per-flow byte counts (Figure 9(a))."""
         return EmpiricalCDF.from_values(float(b) for b in self.byte_samples)
 
+    def scalar_summary(self) -> Tuple[float, float, float, float]:
+        """The four scalars :meth:`distance` compares, in a fixed order.
+
+        The feature row the vectorized stability path batches into an
+        array (:mod:`repro.core.vectorized`); kept next to ``distance``
+        so the two can never drift apart silently.
+        """
+        return (
+            self.byte_mean,
+            self.duration_mean,
+            self.flows_per_sec.average,
+            self.bytes_per_sec.average,
+        )
+
     def distance(self, other: "FlowStats") -> float:
         """Maximum relative change across the scalar summaries."""
-        deltas = [
-            _relative(self.byte_mean, other.byte_mean),
-            _relative(self.duration_mean, other.duration_mean),
-            _relative(self.flows_per_sec.average, other.flows_per_sec.average),
-            _relative(self.bytes_per_sec.average, other.bytes_per_sec.average),
-        ]
-        return max(deltas)
+        return max(
+            _relative(base, current)
+            for base, current in zip(self.scalar_summary(), other.scalar_summary())
+        )
 
     def diff(
         self, other: "FlowStats", scope: str, threshold: float = 0.3

@@ -135,12 +135,33 @@ class ComponentInteraction(Signature):
         obs_vec = [observed.get(k, 0) * scale for k in keys]
         return chi_squared(obs_vec, exp_vec)
 
+    def share_maps(self) -> Dict[str, Dict[Tuple[str, str], float]]:
+        """:meth:`normalized` for every node, computed in one pass.
+
+        ``distance`` (and its vectorized counterpart in
+        :mod:`repro.core.vectorized`) needs every node's shares;
+        per-node :meth:`normalized` calls would rescan ``counts`` each
+        time. Shares use the same ``count / total`` division, so values
+        are bit-identical to ``normalized``'s.
+        """
+        out: Dict[str, Dict[Tuple[str, str], float]] = {}
+        for node, items in self.counts:
+            total = 0
+            for _key, value in items:
+                total += value
+            out[node] = (
+                {key: value / total for key, value in items} if total else {}
+            )
+        return out
+
     def distance(self, other: "ComponentInteraction") -> float:
         """Maximum normalized-share drift across common nodes in [0, 1]."""
         worst = 0.0
-        for node in set(self.nodes()) & set(other.nodes()):
-            mine = self.normalized(node)
-            theirs = other.normalized(node)
+        mine_all = self.share_maps()
+        theirs_all = other.share_maps()
+        for node in set(mine_all) & set(theirs_all):
+            mine = mine_all[node]
+            theirs = theirs_all[node]
             for key in set(mine) | set(theirs):
                 worst = max(worst, abs(mine.get(key, 0.0) - theirs.get(key, 0.0)))
         return worst

@@ -8,6 +8,20 @@ intervals, we consider it stable and use it during problem detection."
 Unstable signatures (e.g. component interaction under non-linear load
 balancing, Section V-B1) are excluded from diffing so they cannot raise
 false debugging flags.
+
+Two raw-speed paths keep this from dominating serial modeling time, both
+guarded by bit-identical equivalence tests against the original code:
+
+* **Interval building** reuses the parallel pipeline's single-pass log
+  partition (:func:`repro.core.events.partition_log`) instead of
+  re-decoding the log once per sub-interval; logs that cannot be
+  partitioned exactly (``FlowMod`` replies without ``in_reply_to``,
+  duplicate reply ids) fall back to the per-interval ``log.window``
+  rebuilds.
+* **Distance folding** batches each matched interval sequence through
+  the numpy kernels in :mod:`repro.core.vectorized` when numpy is
+  importable; the pure Python fold remains both the fallback and the
+  oracle the kernels are tested against.
 """
 
 from __future__ import annotations
@@ -16,6 +30,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.timeseries import split_intervals
+from repro.core import vectorized
+from repro.core.events import (
+    FlowArrival,
+    build_occurrence_runs,
+    interval_flow_records,
+    interval_flow_records_from_arrivals,
+    partition_log,
+)
 from repro.core.signatures.application import (
     ApplicationSignature,
     SignatureConfig,
@@ -47,14 +69,128 @@ def _match_interval_signature(
     group_members: frozenset,
     interval_sigs: Dict[str, ApplicationSignature],
 ) -> Optional[ApplicationSignature]:
-    """The interval signature whose group overlaps ``group_members`` most."""
-    best = None
+    """The interval signature whose group overlaps ``group_members`` most.
+
+    Ties on overlap break to the smallest group key, never to dict
+    insertion order, so the verdict is independent of how the interval
+    dict happened to be assembled (the pipeline emits sorted-key dicts,
+    for which this is the historical behavior; persisted or hand-built
+    dicts may not be sorted).
+    """
+    best_key: Optional[str] = None
     best_overlap = 0
-    for sig in interval_sigs.values():
+    for key, sig in interval_sigs.items():
         overlap = len(sig.group.members & group_members)
-        if overlap > best_overlap:
-            best, best_overlap = sig, overlap
-    return best
+        if overlap == 0:
+            continue
+        if overlap > best_overlap or (
+            overlap == best_overlap and best_key is not None and key < best_key
+        ):
+            best_key, best_overlap = key, overlap
+    return interval_sigs[best_key] if best_key is not None else None
+
+
+def _member_index(
+    interval_sigs: Dict[str, ApplicationSignature],
+) -> Dict[str, List[str]]:
+    """Inverted index: member node -> group keys containing it."""
+    index: Dict[str, List[str]] = {}
+    for key, sig in interval_sigs.items():
+        for member in sig.group.members:
+            index.setdefault(member, []).append(key)
+    return index
+
+
+def _match_with_index(
+    group_members: frozenset,
+    interval_sigs: Dict[str, ApplicationSignature],
+    index: Dict[str, List[str]],
+) -> Optional[ApplicationSignature]:
+    """Index-accelerated :func:`_match_interval_signature`.
+
+    Visits only the groups that actually share a member instead of
+    intersecting every interval group — the full scan is
+    O(groups x |members|) per query and dominated ``assess_stability``
+    on wide windows. Tie-breaking is identical: most overlap, then
+    smallest group key.
+    """
+    overlaps: Dict[str, int] = {}
+    for member in group_members:
+        for key in index.get(member, ()):
+            overlaps[key] = overlaps.get(key, 0) + 1
+    if not overlaps:
+        return None
+    best_key = min(overlaps, key=lambda key: (-overlaps[key], key))
+    return interval_sigs[best_key]
+
+
+def _fast_interval_signatures(
+    log: ControllerLog,
+    config: SignatureConfig,
+    intervals: List[Tuple[float, float]],
+    arrivals: Optional[List[FlowArrival]] = None,
+) -> Optional[List[Dict[str, ApplicationSignature]]]:
+    """Per-interval signatures from one log pass, or None to fall back.
+
+    The serial twin of the parallel pipeline's aligned-shard path: the
+    log is partitioned once, each interval's ``PacketIn`` runs are built
+    from its own bucket against the global reply map, and the interval
+    view truncates runs and pairings at the bounds exactly like a
+    ``log.window(a, b)`` rebuild would (equivalence is test-asserted).
+
+    With full-window ``arrivals`` supplied (the caller has already run
+    extraction — ``FlowDiff._model_serial`` always has), the interval
+    views are sliced out of them instead of regrouping each interval's
+    ``PacketIn`` bucket, skipping the per-interval run rebuilds
+    entirely. Both forms require the :func:`partition_log` reply-id
+    precondition and return None when the log fails it.
+    """
+    partition, _reason = partition_log(
+        log, intervals, collect_pins=arrivals is None
+    )
+    if partition is None:
+        return None
+    out: List[Dict[str, ApplicationSignature]] = []
+    for i, (a, b) in enumerate(intervals):
+        if arrivals is not None:
+            records = interval_flow_records_from_arrivals(
+                arrivals, partition.removed_by_interval[i], a, b
+            )
+        else:
+            runs = build_occurrence_runs(
+                partition.pins_by_interval[i],
+                partition.mods_by_reply,
+                config.occurrence_gap,
+            )
+            records = interval_flow_records(
+                runs, partition.removed_by_interval[i], a, b
+            )
+        out.append(
+            build_application_signatures(
+                None, config, window=(a, b), records=records
+            )
+        )
+    return out
+
+
+def _worst_distances_pure(
+    matched: List[ApplicationSignature],
+) -> Dict[SignatureKind, float]:
+    """The original pairwise fold — fallback and oracle for the kernels."""
+    worst = {
+        SignatureKind.CG: 0.0,
+        SignatureKind.FS: 0.0,
+        SignatureKind.CI: 0.0,
+        SignatureKind.DD: 0.0,
+        SignatureKind.PC: 0.0,
+    }
+    for a, b in zip(matched, matched[1:]):
+        worst[SignatureKind.CG] = max(worst[SignatureKind.CG], a.cg.distance(b.cg))
+        worst[SignatureKind.FS] = max(worst[SignatureKind.FS], a.fs.distance(b.fs))
+        worst[SignatureKind.CI] = max(worst[SignatureKind.CI], a.ci.distance(b.ci))
+        worst[SignatureKind.DD] = max(worst[SignatureKind.DD], a.dd.distance(b.dd))
+        worst[SignatureKind.PC] = max(worst[SignatureKind.PC], a.pc.distance(b.pc))
+    return worst
 
 
 def assess_stability(
@@ -65,6 +201,8 @@ def assess_stability(
     window: Optional[Tuple[float, float]] = None,
     full: Optional[Dict[str, ApplicationSignature]] = None,
     per_interval: Optional[List[Dict[str, ApplicationSignature]]] = None,
+    arrivals: Optional[List[FlowArrival]] = None,
+    vectorize: Optional[bool] = None,
 ) -> Dict[Tuple[str, SignatureKind], bool]:
     """Per (group, kind) stability verdicts over ``parts`` sub-intervals.
 
@@ -80,10 +218,20 @@ def assess_stability(
             per interval of ``split_intervals(t_start, t_end, parts)`` —
             the sharded parallel pipeline supplies these from its shard
             work instead of re-windowing the log ``parts`` times.
+        arrivals: the full-window flow arrivals, when the caller already
+            extracted them; interval views are then sliced out of them
+            instead of regrouping the log's ``PacketIn`` buckets. Only
+            consulted when ``per_interval`` is absent and the window is
+            the log's full span.
+        vectorize: force the numpy distance kernels on (True) or off
+            (False); default (None) uses them whenever numpy imports.
+            Verdicts are identical either way — the pure fold is the
+            kernels' tested oracle.
 
     Raises:
         ValueError: if ``parts`` < 2, or ``per_interval`` has the wrong
             number of entries.
+        RuntimeError: if ``vectorize=True`` but numpy is unavailable.
     """
     if parts < 2:
         raise ValueError(f"stability assessment needs >= 2 parts, got {parts}")
@@ -94,10 +242,15 @@ def assess_stability(
     t_start, t_end = window
     if t_end <= t_start:
         return {}
+    use_vectorized = vectorized.HAVE_NUMPY if vectorize is None else vectorize
 
     if full is None:
         full = build_application_signatures(log, config, window=window)
     intervals = split_intervals(t_start, t_end, parts)
+    if per_interval is None and tuple(window) == tuple(log.time_span):
+        # Single-pass partition; None on the unpartitionable log shapes,
+        # for which the per-interval rebuild below stays authoritative.
+        per_interval = _fast_interval_signatures(log, config, intervals, arrivals)
     if per_interval is None:
         per_interval = [
             build_application_signatures(log.window(a, b), config, window=(a, b))
@@ -109,31 +262,23 @@ def assess_stability(
             f"{len(intervals)} intervals"
         )
 
+    indexes = [_member_index(sigs) for sigs in per_interval]
     verdicts: Dict[Tuple[str, SignatureKind], bool] = {}
     for key, signature in full.items():
         matched = [
             m
             for m in (
-                _match_interval_signature(signature.group.members, sigs)
-                for sigs in per_interval
+                _match_with_index(signature.group.members, sigs, index)
+                for sigs, index in zip(per_interval, indexes)
             )
             if m is not None
         ]
         if len(matched) < 2:
             continue
-        worst = {
-            SignatureKind.CG: 0.0,
-            SignatureKind.FS: 0.0,
-            SignatureKind.CI: 0.0,
-            SignatureKind.DD: 0.0,
-            SignatureKind.PC: 0.0,
-        }
-        for a, b in zip(matched, matched[1:]):
-            worst[SignatureKind.CG] = max(worst[SignatureKind.CG], a.cg.distance(b.cg))
-            worst[SignatureKind.FS] = max(worst[SignatureKind.FS], a.fs.distance(b.fs))
-            worst[SignatureKind.CI] = max(worst[SignatureKind.CI], a.ci.distance(b.ci))
-            worst[SignatureKind.DD] = max(worst[SignatureKind.DD], a.dd.distance(b.dd))
-            worst[SignatureKind.PC] = max(worst[SignatureKind.PC], a.pc.distance(b.pc))
+        if use_vectorized:
+            worst = vectorized.worst_distances(matched)
+        else:
+            worst = _worst_distances_pure(matched)
         verdicts[(key, SignatureKind.CG)] = worst[SignatureKind.CG] <= thresholds.cg
         verdicts[(key, SignatureKind.FS)] = worst[SignatureKind.FS] <= thresholds.fs
         verdicts[(key, SignatureKind.CI)] = worst[SignatureKind.CI] <= thresholds.ci

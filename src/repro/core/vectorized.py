@@ -1,0 +1,246 @@
+"""Vectorized across-interval distance kernels for stability assessment.
+
+:func:`repro.core.stability.assess_stability` judges each signature kind
+by the worst distance between consecutive interval signatures. The pure
+path folds ``a.distance(b)`` over every consecutive pair in Python; for
+a sequence of ``k`` matched intervals that is ``5 * (k - 1)`` kernel
+calls, each rebuilding its feature dicts from scratch. The functions
+here batch every interval's features into one array per kind and compute
+all consecutive-pair distances in a single numpy pass.
+
+**Bit-identical contract.** Each ``worst_*`` function returns exactly the
+float the pure fold returns (equivalence tests in
+``tests/test_vectorized_equivalence.py`` assert it bit for bit). That
+holds because the kernels restrict themselves to operations whose IEEE
+semantics match the scalar code:
+
+* elementwise ``abs`` / subtraction / division (one correctly-rounded
+  operation per element, same as the scalar expression);
+* integer counts (bool sums) divided as float64, matching Python's
+  ``len(a) / len(b)``;
+* comparison-based ``max`` reductions — never float *sum* reductions,
+  whose pairwise blocking would reassociate and change the result.
+
+Absence is encoded per kind the way the scalar kernels treat it: DD uses
+its own ``-1.0`` sentinel (a real peak is a delay, never negative), CG
+membership and CI node presence are boolean masks, and PC needs an
+explicit presence mask because a present correlation can be ``0.0``.
+
+numpy is an optional accelerator, not a dependency: when it is missing
+``HAVE_NUMPY`` is False and callers fall back to the pure fold.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the container always has numpy
+    _np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+from repro.core.signatures.base import SignatureKind
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.core.signatures.application import ApplicationSignature
+    from repro.core.signatures.connectivity import ConnectivityGraph
+    from repro.core.signatures.correlation import PartialCorrelation
+    from repro.core.signatures.delay import DelayDistribution
+    from repro.core.signatures.flowstats import FlowStats
+    from repro.core.signatures.interaction import ComponentInteraction
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:
+        raise RuntimeError(
+            "numpy is not available; use the pure stability path "
+            "(assess_stability(..., vectorize=False))"
+        )
+
+
+def worst_cg(graphs: Sequence["ConnectivityGraph"]) -> float:
+    """Worst consecutive :meth:`ConnectivityGraph.distance` in one pass.
+
+    Edges across the whole sequence are numbered once; each interval
+    becomes a boolean membership row, and ``|a ^ b| / |a | b|`` is an
+    integer-count division exactly like the scalar ``len`` expression.
+    """
+    _require_numpy()
+    if len(graphs) < 2:
+        return 0.0
+    ids: Dict[Tuple[str, str], int] = {}
+    for graph in graphs:
+        for edge in graph.edges:
+            if edge not in ids:
+                ids[edge] = len(ids)
+    if not ids:
+        return 0.0
+    member = _np.zeros((len(graphs), len(ids)), dtype=bool)
+    for i, graph in enumerate(graphs):
+        row = member[i]
+        for edge in graph.edges:
+            row[ids[edge]] = True
+    a, b = member[:-1], member[1:]
+    union = (a | b).sum(axis=1)
+    sym = (a ^ b).sum(axis=1)
+    # Guarded denominator: rows with an empty union are defined as 0.0
+    # distance; the replacement denominator only feeds discarded lanes.
+    dist = _np.where(union > 0, sym / _np.maximum(union, 1), 0.0)
+    return float(dist.max())
+
+
+def worst_fs(stats: Sequence["FlowStats"]) -> float:
+    """Worst consecutive :meth:`FlowStats.distance` in one pass.
+
+    Rows are :meth:`FlowStats.scalar_summary`; the symmetric relative
+    change mirrors ``_relative`` including its 1e-12 zero guard.
+    """
+    _require_numpy()
+    if len(stats) < 2:
+        return 0.0
+    features = _np.array([s.scalar_summary() for s in stats], dtype=_np.float64)
+    base, cur = features[:-1], features[1:]
+    denom = _np.maximum(_np.abs(base), _np.abs(cur))
+    rel = _np.where(
+        denom < 1e-12,
+        0.0,
+        _np.abs(cur - base) / _np.maximum(denom, 1e-12),
+    )
+    return float(rel.max())
+
+
+def worst_ci(interactions: Sequence["ComponentInteraction"]) -> float:
+    """Worst consecutive :meth:`ComponentInteraction.distance` in one pass.
+
+    Columns are (node, edge-key) pairs over the whole sequence; shares
+    come from :meth:`ComponentInteraction.share_maps` (the same
+    ``count / total`` divisions as the scalar path). A node-presence
+    mask keeps only columns whose node appears in *both* intervals of a
+    pair — shares default to 0.0 everywhere else, exactly like the
+    scalar ``dict.get(key, 0.0)``.
+    """
+    _require_numpy()
+    if len(interactions) < 2:
+        return 0.0
+    share_maps = [ci.share_maps() for ci in interactions]
+    node_ids: Dict[str, int] = {}
+    col_ids: Dict[Tuple[str, Tuple[str, str]], int] = {}
+    for shares_by_node in share_maps:
+        for node, shares in shares_by_node.items():
+            if node not in node_ids:
+                node_ids[node] = len(node_ids)
+            for key in shares:
+                col = (node, key)
+                if col not in col_ids:
+                    col_ids[col] = len(col_ids)
+    if not col_ids:
+        return 0.0
+    n = len(interactions)
+    share = _np.zeros((n, len(col_ids)), dtype=_np.float64)
+    present = _np.zeros((n, len(node_ids)), dtype=bool)
+    col_node = _np.empty(len(col_ids), dtype=_np.intp)
+    for (node, _key), j in col_ids.items():
+        col_node[j] = node_ids[node]
+    for i, shares_by_node in enumerate(share_maps):
+        for node, shares in shares_by_node.items():
+            present[i, node_ids[node]] = True
+            row = share[i]
+            for key, value in shares.items():
+                row[col_ids[(node, key)]] = value
+    common = (present[:-1] & present[1:])[:, col_node]
+    diff = _np.where(common, _np.abs(share[1:] - share[:-1]), 0.0)
+    return float(diff.max())
+
+
+def worst_dd(delays: Sequence["DelayDistribution"]) -> float:
+    """Worst consecutive :meth:`DelayDistribution.distance` in one pass.
+
+    Columns are edge pairs; cells hold the dominant peak from
+    :meth:`DelayDistribution.peak_map`. The scalar kernel's own ``-1.0``
+    sentinel covers both absence and multi-modality, so one ``>= 0``
+    mask on each side of a pair reproduces its common-pair filter.
+    """
+    _require_numpy()
+    if len(delays) < 2:
+        return 0.0
+    peak_maps = [dd.peak_map() for dd in delays]
+    col_ids: Dict[object, int] = {}
+    for peaks in peak_maps:
+        for pair in peaks:
+            if pair not in col_ids:
+                col_ids[pair] = len(col_ids)
+    if not col_ids:
+        return 0.0
+    peak = _np.full((len(delays), len(col_ids)), -1.0, dtype=_np.float64)
+    for i, peaks in enumerate(peak_maps):
+        row = peak[i]
+        for pair, value in peaks.items():
+            row[col_ids[pair]] = value
+    a, b = peak[:-1], peak[1:]
+    known = (a >= 0.0) & (b >= 0.0)
+    diff = _np.where(known, _np.abs(b - a), 0.0)
+    return float(diff.max())
+
+
+def worst_pc(correlations: Sequence["PartialCorrelation"]) -> float:
+    """Worst consecutive :meth:`PartialCorrelation.distance` in one pass.
+
+    Unlike DD there is no sentinel value available — a present
+    correlation can legitimately be 0.0 — so presence is tracked in an
+    explicit boolean matrix alongside the value matrix.
+    """
+    _require_numpy()
+    if len(correlations) < 2:
+        return 0.0
+    value_maps = [pc.value_map() for pc in correlations]
+    col_ids: Dict[object, int] = {}
+    for values in value_maps:
+        for pair in values:
+            if pair not in col_ids:
+                col_ids[pair] = len(col_ids)
+    if not col_ids:
+        return 0.0
+    n = len(correlations)
+    value = _np.zeros((n, len(col_ids)), dtype=_np.float64)
+    present = _np.zeros((n, len(col_ids)), dtype=bool)
+    for i, values in enumerate(value_maps):
+        vrow, prow = value[i], present[i]
+        for pair, r in values.items():
+            j = col_ids[pair]
+            vrow[j] = r
+            prow[j] = True
+    common = present[:-1] & present[1:]
+    diff = _np.where(common, _np.abs(value[1:] - value[:-1]), 0.0)
+    return float(diff.max())
+
+
+def worst_distances(
+    matched: Sequence["ApplicationSignature"],
+) -> Dict[SignatureKind, float]:
+    """All five worst consecutive distances for one matched sequence.
+
+    The vectorized replacement for ``assess_stability``'s inner fold:
+    one array pass per kind instead of ``5 * (len(matched) - 1)``
+    Python kernel calls.
+    """
+    return {
+        SignatureKind.CG: worst_cg([s.cg for s in matched]),
+        SignatureKind.FS: worst_fs([s.fs for s in matched]),
+        SignatureKind.CI: worst_ci([s.ci for s in matched]),
+        SignatureKind.DD: worst_dd([s.dd for s in matched]),
+        SignatureKind.PC: worst_pc([s.pc for s in matched]),
+    }
+
+
+__all__: List[str] = [
+    "HAVE_NUMPY",
+    "worst_cg",
+    "worst_fs",
+    "worst_ci",
+    "worst_dd",
+    "worst_pc",
+    "worst_distances",
+]

@@ -67,6 +67,11 @@ class Simulator:
             )
         heapq.heappush(self._queue, (when, self._seq, callback))
         self._seq += 1
+        # Keep the gauge current on push as well as in the run loop, so
+        # depth observed after a burst of schedules (before run()) is not
+        # stale. Unconditional: a NOOP gauge's set() is a no-op method
+        # call, which keeps the uninstrumented fast path branch-free.
+        self._m_queue_depth.set(len(self._queue))
 
     def schedule_in(self, delay: float, callback: Callable[[], Any]) -> None:
         """Run ``callback`` after ``delay`` seconds of simulated time.

@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro._compat import DATACLASS_KW
 
-@dataclass
+
+@dataclass(**DATACLASS_KW)
 class LinkState:
     """Mutable utilization bookkeeping for one link direction-pair."""
 
@@ -33,7 +35,7 @@ class LinkState:
     drops: float = 0.0
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class Link:
     """A bidirectional link between two nodes.
 

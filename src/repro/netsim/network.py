@@ -36,6 +36,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro._compat import DATACLASS_KW
 from repro.netsim.engine import Simulator
 from repro.netsim.topology import Topology
 from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
@@ -49,7 +50,7 @@ from repro.openflow.messages import FlowRemoved, FlowStatsReply, PortStatus
 from repro.openflow.switch import OpenFlowSwitch
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class FlowRequest:
     """One application-level flow to be carried by the network.
 
@@ -64,7 +65,7 @@ class FlowRequest:
     duration: float = 0.01
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class FlowResult:
     """The outcome of a delivered (or failed) flow.
 
@@ -520,31 +521,33 @@ class Network:
         """
         idle = self.config.controller.idle_timeout
         step = max(idle * self.config.body_checkpoint, 1e-3)
-        times = []
+        per = 1
         t = start + step
         while t < end:
-            times.append(t)
+            per += 1
             t += step
-        times.append(end)
-        per = max(1, len(times))
         share_bytes = body_bytes // per
         share_packets = max(1, body_packets // per) if body_packets else 0
-        switch_nodes = [n for n in path if n in self.switches]
+        switch_nodes = [self.switches[n] for n in path if n in self.switches]
 
-        def credit(at: float, nbytes: int, npackets: int) -> None:
-            def do() -> None:
-                for node in switch_nodes:
-                    switch = self.switches[node]
-                    if not switch.live:
-                        continue
-                    entry = switch.table.lookup(key, self.sim.now)
-                    if entry is not None:
-                        entry.record_match(self.sim.now, nbytes, max(npackets, 0))
+        # Every checkpoint credits the same share, so one closure serves
+        # them all (it reads the clock at execution time) — the previous
+        # shape allocated two fresh closures per checkpoint, which is
+        # measurable churn at millions of flows.
+        def credit() -> None:
+            now = self.sim.now
+            for switch in switch_nodes:
+                if not switch.live:
+                    continue
+                entry = switch.table.lookup(key, now)
+                if entry is not None:
+                    entry.record_match(now, share_bytes, share_packets)
 
-            self.sim.schedule_at(at, do)
-
-        for ts in times:
-            credit(ts, share_bytes, share_packets)
+        t = start + step
+        while t < end:
+            self.sim.schedule_at(t, credit)
+            t += step
+        self.sim.schedule_at(end, credit)
 
     def _failed_result(
         self, request: FlowRequest, at: float, path: List[str]

@@ -158,12 +158,24 @@ class RunRecord:
         The benchmark emitter and ``repro profile`` produce the same
         ``phases`` dict (slash-joined span paths from
         :func:`~repro.obs.profile.phase_timings`), so the committed perf
-        baseline is directly usable as the ``--baseline`` of a gate.
+        baseline is directly usable as the ``--baseline`` of a gate. The
+        payload's ``throughput`` section rides along in ``bench``; the
+        floors it declares (``min_messages_per_s``) are what
+        :func:`gate_records` enforces against the current record's
+        measured rates.
         """
         noise = 0.0
         obs_overhead = payload.get("obs_overhead")
         if isinstance(obs_overhead, dict):
             noise = float(obs_overhead.get("noise_floor_pct", 0.0))
+        bench: Dict[str, Any] = {}
+        metrics: Dict[str, float] = {}
+        throughput = payload.get("throughput")
+        if isinstance(throughput, dict):
+            bench["throughput"] = throughput
+            simulate = throughput.get("simulate")
+            if isinstance(simulate, dict) and "messages_per_s" in simulate:
+                metrics["messages_per_s"] = float(simulate["messages_per_s"])
         return cls(
             run_id=f"bench:{payload.get('benchmark', 'pipeline')}",
             command="bench",
@@ -174,6 +186,8 @@ class RunRecord:
                 k: float(v) for k, v in payload.get("phases", {}).items()
             },
             total_s=float(payload.get("total_s", 0.0)),
+            metrics=metrics,
+            bench=bench,
             repeats=3,
             noise_floor_pct=noise,
             created_at=payload.get("created_at"),
@@ -299,7 +313,13 @@ def compare_records(
 
 
 class GateResult:
-    """The outcome of one regression gate: pass/fail plus the evidence."""
+    """The outcome of one regression gate: pass/fail plus the evidence.
+
+    ``floors`` holds the rate-floor rows (throughput checks) — unlike
+    phase rows, these compare a *measured rate* against a *declared
+    minimum* from the baseline's benchmark payload, so they are listed
+    and rendered separately from the duration deltas.
+    """
 
     def __init__(
         self,
@@ -308,12 +328,14 @@ class GateResult:
         checked: List[Dict[str, Any]],
         tolerance_pct: float,
         floor_s: float,
+        floors: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         self.ok = ok
         self.regressions = regressions
         self.checked = checked
         self.tolerance_pct = tolerance_pct
         self.floor_s = floor_s
+        self.floors = floors or []
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -322,6 +344,7 @@ class GateResult:
             "floor_s": self.floor_s,
             "regressions": self.regressions,
             "checked": self.checked,
+            "floors": self.floors,
         }
 
     def render(self) -> str:
@@ -338,11 +361,44 @@ class GateResult:
                 f"{row['current_s'] * 1000:>10.2f}ms "
                 f"({row['delta_pct']:+.1f}%)"
             )
-        lines.append(
-            "gate PASSED" if self.ok else f"gate FAILED: "
-            f"{len(self.regressions)} phase(s) regressed beyond tolerance"
-        )
+        for row in self.floors:
+            mark = "  ok" if row["ok"] else "FAIL"
+            lines.append(
+                f"  {mark} {row['name']:<28} "
+                f"{row['current']:>13,.0f}/s vs floor "
+                f"{row['floor']:,.0f}/s "
+                f"(effective {row['effective_floor']:,.0f}/s at "
+                f"+{row['tolerance_pct']:g}% tol)"
+            )
+        failed_floors = sum(1 for row in self.floors if not row["ok"])
+        if self.ok:
+            lines.append("gate PASSED")
+        else:
+            detail = []
+            if self.regressions:
+                detail.append(
+                    f"{len(self.regressions)} phase(s) regressed "
+                    "beyond tolerance"
+                )
+            if failed_floors:
+                detail.append(
+                    f"{failed_floors} throughput floor(s) missed"
+                )
+            lines.append("gate FAILED: " + ", ".join(detail))
         return "\n".join(lines)
+
+
+def _measured_rate(record: RunRecord, name: str) -> Optional[float]:
+    """A record's measured rate metric: ``metrics`` first (profile
+    records), then its own benchmark throughput section (bench-adapted
+    records gating against each other). None when the record predates
+    rate measurement."""
+    if name in record.metrics:
+        return float(record.metrics[name])
+    simulate = (record.bench.get("throughput") or {}).get("simulate")
+    if isinstance(simulate, dict) and name in simulate:
+        return float(simulate[name])
+    return None
 
 
 def gate_records(
@@ -361,6 +417,17 @@ def gate_records(
     so microsecond phases never gate the build. Phases that appear or
     disappear are reported in ``checked`` rows but never fail the gate
     (renames are a code review concern, not a perf regression).
+
+    When the baseline carries a ``throughput`` benchmark section (a
+    :meth:`RunRecord.from_bench` adaptation of ``BENCH_pipeline.json``)
+    declaring ``min_messages_per_s``, and the current record measured a
+    ``messages_per_s`` metric, the gate additionally fails if the
+    measured ingest rate lands below the floor — relaxed by the same
+    effective tolerance plus the throughput section's own noise floor,
+    so a noisy runner cannot flunk a genuinely-fast build. A current
+    record with no measured rate skips the check (older profile records
+    predate the metric); the floor row never silently passes on missing
+    *baseline* data because the floor itself comes from the baseline.
     """
     effective = max(
         tolerance_pct, baseline.noise_floor_pct, current.noise_floor_pct
@@ -385,12 +452,32 @@ def gate_records(
         checked.append(row)
         if delta_pct > effective and (cur - base) > floor_s:
             regressions.append(row)
+
+    floors: List[Dict[str, Any]] = []
+    simulate = (baseline.bench.get("throughput") or {}).get("simulate")
+    if isinstance(simulate, dict):
+        floor = float(simulate.get("min_messages_per_s") or 0.0)
+        measured = _measured_rate(current, "messages_per_s")
+        if floor > 0 and measured is not None:
+            tol = max(effective, float(simulate.get("noise_floor_pct", 0.0)))
+            need = floor / (1.0 + tol / 100.0)
+            floors.append(
+                {
+                    "name": "throughput/messages_per_s",
+                    "floor": floor,
+                    "effective_floor": round(need, 1),
+                    "current": measured,
+                    "tolerance_pct": tol,
+                    "ok": measured >= need,
+                }
+            )
     return GateResult(
-        ok=not regressions,
+        ok=not regressions and all(row["ok"] for row in floors),
         regressions=regressions,
         checked=checked,
         tolerance_pct=effective,
         floor_s=floor_s,
+        floors=floors,
     )
 
 

@@ -25,6 +25,7 @@ from typing import Callable, Deque, Optional
 
 import random
 
+from repro._compat import DATACLASS_KW
 from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
 from repro.obs.telemetry import NOOP_TELEMETRY, TelemetryPlane
 from repro.openflow.log import ControllerLog
@@ -64,7 +65,7 @@ class ControllerConfig:
     load_window: float = 1.0
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class ControllerReply:
     """The controller's reaction to one table miss.
 

@@ -16,6 +16,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro._compat import DATACLASS_KW
 from repro.openflow.match import FlowKey, Match
 
 
@@ -34,7 +35,7 @@ class FlowRemovedReason(enum.Enum):
     DELETE = "delete"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class ControlMessage:
     """Base class for all control messages.
 
@@ -56,7 +57,7 @@ class ControlMessage:
     corr_id: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class PacketIn(ControlMessage):
     """A table-miss notification from a switch to the controller.
 
@@ -70,7 +71,7 @@ class PacketIn(ControlMessage):
     buffer_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class PacketOut(ControlMessage):
     """A controller instruction to release a buffered packet out a port."""
 
@@ -79,7 +80,7 @@ class PacketOut(ControlMessage):
     buffer_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class FlowMod(ControlMessage):
     """A controller instruction installing (or deleting) a flow entry.
 
@@ -99,7 +100,7 @@ class FlowMod(ControlMessage):
     in_reply_to: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class FlowRemoved(ControlMessage):
     """An expiry notification carrying the entry's final counters.
 
@@ -115,7 +116,7 @@ class FlowRemoved(ControlMessage):
     reason: FlowRemovedReason = FlowRemovedReason.IDLE_TIMEOUT
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class PortStatus(ControlMessage):
     """A link up/down notification for a switch port."""
 
@@ -123,7 +124,7 @@ class PortStatus(ControlMessage):
     live: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class FlowStatsReply(ControlMessage):
     """A polled per-entry counter snapshot (OFPST_FLOW style).
 
@@ -138,7 +139,7 @@ class FlowStatsReply(ControlMessage):
     duration: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class EchoRequest(ControlMessage):
     """A liveness probe; its absence of reply signals switch failure."""
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro._compat import DATACLASS_KW
 from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
 from repro.obs.telemetry import NOOP_TELEMETRY, TelemetryPlane
 from repro.openflow.flowtable import FlowEntry, FlowTable
@@ -19,7 +20,7 @@ from repro.openflow.match import FlowKey, Match
 from repro.openflow.messages import FlowRemovedReason
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_KW)
 class TableMiss:
     """The metadata a switch reports to the controller on a table miss.
 

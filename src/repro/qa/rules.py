@@ -467,6 +467,100 @@ class MetricNamesRule(Rule):
                     )
 
 
+#: Data-plane packages whose loops execute once per simulated message —
+#: the paths the raw-speed campaign de-churned. Allocation here is paid
+#: millions of times per capture.
+HOT_LOOP_PACKAGES: Tuple[str, ...] = (
+    "repro.netsim",
+    "repro.openflow",
+)
+
+#: Modules under the hot packages that only run at scenario-build time
+#: (graph construction, one pass per topology) — per-iteration allocation
+#: there is setup cost, not per-message churn.
+SETUP_TIME_MODULES: Tuple[str, ...] = (
+    "repro.netsim.topology",
+)
+
+
+class HotLoopAllocRule(Rule):
+    """No per-iteration list/dict allocation in data-plane loops.
+
+    Loops in the netsim/openflow data plane run once per simulated
+    message, so a ``[]``/``{}`` display, ``list()``/``dict()`` call, or
+    list/dict comprehension in the loop body allocates (and collects) a
+    fresh container per message — the allocator churn the raw-speed
+    campaign removed from the ingest path. Hoist the container out of the
+    loop, reuse a scratch structure, or (for genuinely cold loops) carry
+    a justified pragma. Scenario-build modules (:data:`SETUP_TIME_MODULES`)
+    are exempt: their loops run once per topology, not per message.
+    """
+
+    name = "hot-loop-alloc"
+    description = (
+        "data-plane loops must not allocate a list/dict per iteration"
+    )
+
+    _ALLOC_NODES = (ast.List, ast.Dict, ast.ListComp, ast.DictComp)
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        if (
+            module.tree is None
+            or not module.in_package(HOT_LOOP_PACKAGES)
+            or module.in_package(SETUP_TIME_MODULES)
+        ):
+            return
+        seen: Set[int] = set()
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            # Only the parts re-evaluated each iteration count: the body,
+            # plus the test of a while. The iterable of a for and the
+            # orelse of either run once per loop, not per message.
+            roots: List[ast.AST] = list(loop.body)
+            if isinstance(loop, ast.While):
+                roots.append(loop.test)
+            for root in roots:
+                yield from self._scan(module, root, seen)
+
+    def _scan(
+        self, module: ModuleFile, root: ast.AST, seen: Set[int]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(root):
+            if id(node) in seen:
+                continue
+            what = self._allocation(node)
+            if what is not None:
+                seen.add(id(node))
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=node.lineno,
+                    message=(
+                        f"{what} inside a data-plane loop allocates per "
+                        f"message; hoist it out of the loop or reuse a "
+                        f"scratch container"
+                    ),
+                )
+
+    def _allocation(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.List):
+            return "list display"
+        if isinstance(node, ast.Dict):
+            return "dict display"
+        if isinstance(node, ast.ListComp):
+            return "list comprehension"
+        if isinstance(node, ast.DictComp):
+            return "dict comprehension"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict")
+        ):
+            return f"{node.func.id}() call"
+        return None
+
+
 def default_rules(
     manifest_path: Optional[str] = None,
 ) -> List[Rule]:
@@ -485,4 +579,5 @@ def default_rules(
         SignatureContractRule(),
         ForkSafetyRule(),
         MetricNamesRule(),
+        HotLoopAllocRule(),
     ]

@@ -245,6 +245,55 @@ class GateTest(unittest.TestCase):
         self.assertIn("ok", payload)
         self.assertIn("regressions", payload)
         self.assertIn("tolerance_pct", payload)
+        self.assertIn("floors", payload)
+
+    def _floor_baseline(self, **simulate):
+        section = dict(
+            messages_per_s=50_000,
+            min_messages_per_s=47_133,
+            noise_floor_pct=0.0,
+        )
+        section.update(simulate)
+        return make_record(
+            metrics={"messages_per_s": section["messages_per_s"]},
+            bench={"throughput": {"simulate": section}},
+        )
+
+    def test_throughput_floor_passes_and_renders(self):
+        baseline = self._floor_baseline()
+        current = make_record(metrics={"messages_per_s": 48_000.0})
+        result = gate_records(current, baseline, tolerance_pct=25.0)
+        self.assertTrue(result.ok)
+        self.assertEqual(len(result.floors), 1)
+        row = result.floors[0]
+        self.assertEqual(row["name"], "throughput/messages_per_s")
+        self.assertEqual(row["floor"], 47_133)
+        self.assertIn("throughput/messages_per_s", result.render())
+
+    def test_throughput_floor_failure_fails_gate(self):
+        baseline = self._floor_baseline()
+        slow = make_record(metrics={"messages_per_s": 15_711.0})
+        result = gate_records(slow, baseline, tolerance_pct=25.0)
+        self.assertFalse(result.ok)
+        self.assertFalse(result.floors[0]["ok"])
+        # No phase regressed; the failure line must still say why.
+        self.assertEqual(result.regressions, [])
+        self.assertIn("FAILED", result.render())
+
+    def test_floor_relaxes_by_max_of_tolerance_and_noise(self):
+        baseline = self._floor_baseline(noise_floor_pct=100.0)
+        # Above floor/(1 + 100/100) but far below the nominal floor.
+        current = make_record(metrics={"messages_per_s": 24_000.0})
+        result = gate_records(current, baseline, tolerance_pct=25.0)
+        self.assertTrue(result.ok)
+        self.assertEqual(result.floors[0]["tolerance_pct"], 100.0)
+
+    def test_record_without_measured_rate_skips_floor(self):
+        baseline = self._floor_baseline()
+        legacy = make_record()  # pre-campaign record: no messages_per_s
+        result = gate_records(legacy, baseline, tolerance_pct=25.0)
+        self.assertTrue(result.ok)
+        self.assertEqual(result.floors, [])
 
 
 class MetricsTest(unittest.TestCase):

@@ -14,6 +14,7 @@ from repro.qa.framework import ModuleFile, Project
 from repro.qa.rules import (
     DeterminismRule,
     ForkSafetyRule,
+    HotLoopAllocRule,
     MetricNamesRule,
     OpenEncodingRule,
     SignatureContractRule,
@@ -433,6 +434,117 @@ class TestMetricNames:
             name="repro.obs.fakeexport",
         )
         assert run(MetricNamesRule(), mod).ok
+
+
+class TestHotLoopAlloc:
+    def test_hoisted_containers_are_clean(self):
+        mod = module(
+            """\
+            def drain(queue, out):
+                scratch = []
+                while queue:
+                    item = queue.pop()
+                    scratch.append(item)
+                    out[item.key] = item
+            """,
+            name="repro.netsim.fakeengine",
+        )
+        assert run(HotLoopAllocRule(), mod).ok
+
+    def test_per_iteration_display_is_flagged(self):
+        mod = module(
+            """\
+            def drain(queue):
+                while queue:
+                    msg = queue.pop()
+                    fields = [msg.src, msg.dst]
+                    handle(fields)
+            """,
+            name="repro.netsim.fakeengine",
+        )
+        result = run(HotLoopAllocRule(), mod)
+        assert [f.rule for f in result.findings] == ["hot-loop-alloc"]
+        assert "list display" in result.findings[0].message
+
+    def test_dict_call_and_comprehension_in_for_are_flagged(self):
+        mod = module(
+            """\
+            def deliver(messages):
+                for msg in messages:
+                    meta = dict(src=msg.src)
+                    sizes = [p.size for p in msg.packets]
+                    emit(meta, sizes)
+            """,
+            name="repro.openflow.fakeswitch",
+        )
+        result = run(HotLoopAllocRule(), mod)
+        assert len(result.findings) == 2
+
+    def test_for_iterable_and_orelse_run_once(self):
+        # The iterable expression and the else block evaluate once per
+        # loop, not per message — neither is churn.
+        mod = module(
+            """\
+            def deliver(switch):
+                for msg in list(switch.pending):
+                    handle(msg)
+                else:
+                    switch.done = [1]
+            """,
+            name="repro.openflow.fakeswitch",
+        )
+        assert run(HotLoopAllocRule(), mod).ok
+
+    def test_nested_loop_reports_once(self):
+        mod = module(
+            """\
+            def drain(queue):
+                while queue:
+                    for msg in queue.pop():
+                        handle({msg.src: msg.dst})
+            """,
+            name="repro.netsim.fakeengine",
+        )
+        result = run(HotLoopAllocRule(), mod)
+        assert len(result.findings) == 1
+        assert "dict display" in result.findings[0].message
+
+    def test_setup_time_modules_are_exempt(self):
+        mod = module(
+            """\
+            def build(graph):
+                for node in graph:
+                    ports = {}
+                    wire(node, ports)
+            """,
+            name="repro.netsim.topology",
+        )
+        assert run(HotLoopAllocRule(), mod).ok
+
+    def test_outside_data_plane_is_fine(self):
+        mod = module(
+            """\
+            def fold(rows):
+                for row in rows:
+                    yield [row.a, row.b]
+            """,
+            name="repro.analysis.fakefold",
+        )
+        assert run(HotLoopAllocRule(), mod).ok
+
+    def test_justified_pragma_suppresses(self):
+        mod = module(
+            """\
+            def rebalance(switch):
+                while switch.dirty:
+                    snapshot = list(switch.table)  # flowlint: disable=hot-loop-alloc -- cold path, runs per rebalance
+                    apply(snapshot)
+            """,
+            name="repro.openflow.fakeswitch",
+        )
+        result = run(HotLoopAllocRule(), mod)
+        assert result.ok
+        assert result.suppressed == 1
 
 
 class TestSelfCheck:

@@ -1,0 +1,304 @@
+"""Bit-identical equivalence of the raw-speed stability paths.
+
+The campaign's correctness contract in test form:
+
+* every numpy kernel in :mod:`repro.core.vectorized` returns *exactly*
+  the float of the pure ``distance`` fold it replaces (the pure code is
+  the oracle), over hypothesis-generated signatures and a fixed-seed
+  capture;
+* ``assess_stability`` verdicts are identical with ``vectorize=True``,
+  ``vectorize=False``, and with the single-pass interval builder versus
+  per-interval ``log.window`` rebuilds;
+* interval matching breaks overlap ties deterministically (smallest
+  group key), independent of dict insertion order;
+* the serial and sharded-parallel modeling pipelines still produce
+  dict-identical models over the slotted netsim records.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.timeseries import split_intervals
+from repro.core import vectorized
+from repro.core.groups import ApplicationGroup
+from repro.core.signatures.application import (
+    ApplicationSignature,
+    build_application_signatures,
+)
+from repro.core.signatures.connectivity import ConnectivityGraph
+from repro.core.signatures.correlation import PartialCorrelation
+from repro.core.signatures.delay import DelayDistribution
+from repro.core.signatures.flowstats import FlowStats, RateSummary
+from repro.core.signatures.interaction import ComponentInteraction
+from repro.core.stability import (
+    _match_interval_signature,
+    _match_with_index,
+    _member_index,
+    assess_stability,
+)
+from repro.scenarios import three_tier_lab
+
+pytestmark = pytest.mark.skipif(
+    not vectorized.HAVE_NUMPY, reason="numpy unavailable; kernels inert"
+)
+
+NODES = ("a", "b", "c", "d", "e")
+edges = st.tuples(st.sampled_from(NODES), st.sampled_from(NODES))
+edge_pairs = st.tuples(edges, edges)
+
+#: Scalar features including the magnitudes the 1e-12 zero guard carves
+#: out, so the FS relative-change guard is actually exercised.
+scalars = st.one_of(
+    st.floats(-1e6, 1e6, allow_nan=False),
+    st.sampled_from([0.0, -0.0, 1e-13, -1e-13, 5e-12]),
+)
+
+
+def pure_worst(seq):
+    worst = 0.0
+    for a, b in zip(seq, seq[1:]):
+        worst = max(worst, a.distance(b))
+    return worst
+
+
+connectivity_graphs = st.builds(
+    lambda e: ConnectivityGraph(edges=frozenset(e)), st.frozensets(edges, max_size=8)
+)
+
+flow_stats = st.builds(
+    lambda f0, f1, f2, f3: FlowStats(
+        flow_count=1,
+        byte_mean=f0,
+        byte_std=0.0,
+        duration_mean=f1,
+        duration_std=0.0,
+        packet_mean=0.0,
+        flows_per_sec=RateSummary(0.0, 0.0, f2),
+        bytes_per_sec=RateSummary(0.0, 0.0, f3),
+        per_edge_bytes=(),
+    ),
+    scalars,
+    scalars,
+    scalars,
+    scalars,
+)
+
+interactions = st.builds(
+    lambda counts: ComponentInteraction(
+        counts=tuple(
+            (node, tuple(sorted(per.items())))
+            for node, per in sorted(counts.items())
+        )
+    ),
+    st.dictionaries(
+        st.sampled_from(NODES),
+        st.dictionaries(
+            st.tuples(st.sampled_from(["in", "out"]), st.sampled_from(NODES)),
+            st.integers(0, 20),
+            max_size=4,
+        ),
+        max_size=4,
+    ),
+)
+
+# Peaks are (delay, count) bins, dominant first; a runner-up within 1.5x
+# of the top makes the pair multimodal (the -1.0 sentinel path).
+peak_lists = st.lists(
+    st.tuples(st.floats(0.0, 0.5, allow_nan=False), st.integers(1, 30)),
+    max_size=3,
+).map(lambda pk: tuple(sorted(pk, key=lambda p: -p[1])))
+
+delay_distributions = st.builds(
+    lambda pairs: DelayDistribution(
+        samples=tuple((pair, ()) for pair in sorted(pairs)),
+        first_samples=(),
+        peaks=tuple(sorted(pairs.items())),
+    ),
+    st.dictionaries(edge_pairs, peak_lists, max_size=5),
+)
+
+partial_correlations = st.builds(
+    lambda corr: PartialCorrelation(
+        correlations=tuple(sorted(corr.items()))
+    ),
+    st.dictionaries(edge_pairs, st.floats(-1.0, 1.0, allow_nan=False), max_size=5),
+)
+
+
+class TestKernelsBitIdentical:
+    """Each numpy kernel against the pure fold it replaces."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(connectivity_graphs, min_size=2, max_size=5))
+    def test_cg(self, graphs):
+        assert vectorized.worst_cg(graphs) == pure_worst(graphs)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(flow_stats, min_size=2, max_size=5))
+    def test_fs(self, stats):
+        assert vectorized.worst_fs(stats) == pure_worst(stats)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(interactions, min_size=2, max_size=5))
+    def test_ci(self, seq):
+        assert vectorized.worst_ci(seq) == pure_worst(seq)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(delay_distributions, min_size=2, max_size=5))
+    def test_dd(self, seq):
+        assert vectorized.worst_dd(seq) == pure_worst(seq)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(partial_correlations, min_size=2, max_size=5))
+    def test_pc(self, seq):
+        assert vectorized.worst_pc(seq) == pure_worst(seq)
+
+    def test_short_sequences_are_zero(self):
+        assert vectorized.worst_cg([]) == 0.0
+        assert vectorized.worst_cg([ConnectivityGraph(edges=frozenset())]) == 0.0
+        empty = [ConnectivityGraph(edges=frozenset())] * 2
+        assert vectorized.worst_cg(empty) == 0.0
+
+
+@pytest.fixture(scope="module")
+def lab_log():
+    return three_tier_lab(seed=3).run(0.5, 20.0)
+
+
+class TestAssessStabilityEquivalence:
+    """Verdicts are path-independent on a real capture."""
+
+    def test_vectorized_matches_pure(self, lab_log):
+        fast = assess_stability(lab_log, vectorize=True)
+        pure = assess_stability(lab_log, vectorize=False)
+        assert fast == pure
+        assert fast  # the capture actually yields verdicts
+
+    def test_fast_intervals_match_window_rebuilds(self, lab_log):
+        t0, t1 = lab_log.time_span
+        rebuilt = [
+            build_application_signatures(
+                lab_log.window(a, b), None, window=(a, b)
+            )
+            for a, b in split_intervals(t0, t1, 3)
+        ]
+        assert assess_stability(lab_log) == assess_stability(
+            lab_log, per_interval=rebuilt
+        )
+
+    def test_worst_distances_bit_identical_on_capture(self, lab_log):
+        from repro.core.stability import _worst_distances_pure
+
+        t0, t1 = lab_log.time_span
+        per_interval = [
+            build_application_signatures(
+                lab_log.window(a, b), None, window=(a, b)
+            )
+            for a, b in split_intervals(t0, t1, 3)
+        ]
+        full = build_application_signatures(lab_log, None)
+        indexes = [_member_index(sigs) for sigs in per_interval]
+        checked = 0
+        for signature in full.values():
+            matched = [
+                m
+                for m in (
+                    _match_with_index(signature.group.members, sigs, index)
+                    for sigs, index in zip(per_interval, indexes)
+                )
+                if m is not None
+            ]
+            if len(matched) < 2:
+                continue
+            assert vectorized.worst_distances(matched) == _worst_distances_pure(
+                matched
+            )
+            checked += 1
+        assert checked
+
+
+def _blank_signature(members):
+    group = ApplicationGroup(members=frozenset(members), services=frozenset())
+    return ApplicationSignature(
+        group=group,
+        cg=ConnectivityGraph(edges=frozenset()),
+        fs=FlowStats(
+            flow_count=0,
+            byte_mean=0.0,
+            byte_std=0.0,
+            duration_mean=0.0,
+            duration_std=0.0,
+            packet_mean=0.0,
+            flows_per_sec=RateSummary(0.0, 0.0, 0.0),
+            bytes_per_sec=RateSummary(0.0, 0.0, 0.0),
+            per_edge_bytes=(),
+        ),
+        ci=ComponentInteraction(counts=()),
+        dd=DelayDistribution(samples=(), first_samples=(), peaks=()),
+        pc=PartialCorrelation(correlations=()),
+    )
+
+
+class TestTieBreakDeterminism:
+    """Equal-overlap candidates resolve by key, not dict order."""
+
+    def test_equal_overlap_ties_break_to_smallest_key(self):
+        # Two candidate groups each share exactly one member with the
+        # query; only their dict insertion order differs between the two
+        # layouts. The historical scan kept whichever dict yielded
+        # first — the verdict depended on dict assembly order.
+        query = frozenset({"web1", "db1"})
+        sig_z = _blank_signature({"web1", "cache1"})
+        sig_a = _blank_signature({"db1", "spare1"})
+        adversarial = {"z-group": sig_z, "a-group": sig_a}
+        sorted_order = {"a-group": sig_a, "z-group": sig_z}
+        for layout in (adversarial, sorted_order):
+            match = _match_interval_signature(query, layout)
+            assert match is sig_a  # smallest key wins the tie
+            indexed = _match_with_index(query, layout, _member_index(layout))
+            assert indexed is match
+
+    def test_index_match_agrees_with_scan(self):
+        query = frozenset({"web1", "db1", "app1"})
+        layout = {
+            "g1": _blank_signature({"web1", "app1"}),  # overlap 2
+            "g2": _blank_signature({"db1"}),  # overlap 1
+            "g3": _blank_signature({"x"}),  # overlap 0
+        }
+        scan = _match_interval_signature(query, layout)
+        indexed = _match_with_index(query, layout, _member_index(layout))
+        assert scan is indexed is layout["g1"]
+        assert _match_with_index(
+            frozenset({"nope"}), layout, _member_index(layout)
+        ) is None
+
+
+class TestSerialParallelCrossCheck:
+    """The slotted netsim records feed both pipelines identically."""
+
+    def test_jobs_variants_dict_identical(self, lab_log):
+        from repro import FlowDiff
+        from repro.core.flowdiff import FlowDiffConfig
+        from repro.core.persist import model_to_dict
+
+        serial = FlowDiff(FlowDiffConfig(jobs=1)).model(lab_log)
+        parallel = FlowDiff(FlowDiffConfig(jobs=2)).model(lab_log)
+        assert model_to_dict(serial) == model_to_dict(parallel)
+        assert serial.stability == parallel.stability
+
+
+class TestQueueDepthGauge:
+    """The simulator gauge tracks pushes, not just the run loop."""
+
+    def test_gauge_current_after_schedule_burst(self):
+        from repro.netsim.engine import Simulator
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        sim = Simulator(metrics=metrics)
+        gauge = metrics.gauge("sim_queue_depth")
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+            assert gauge.value == i + 1  # fresh on every push, pre-run
+        sim.run(until=2.0)
+        assert gauge.value == 2.0  # and kept current by the loop
