@@ -21,6 +21,10 @@ Usage (also via ``python -m repro``):
   data-plane telemetry plane on, print per-component tables, evaluate
   the telemetry alert rules, and optionally export JSONL/Prometheus,
   write a topology heatmap, or serve the read-only ops HTTP endpoint.
+* ``repro serve --tenants prod=capture.jsonl`` — the always-on streaming
+  diagnosis daemon: tail one capture per tenant, maintain each open
+  window incrementally, diff every closed window against the learned
+  baseline, and serve reports/alerts/traces/health over HTTP.
 * ``repro profile --flame flame.svg`` — run the pipeline under the
   span-scoped function profiler: per-phase timings (min-of-repeats),
   the hot-function table, a collapsed-stack file, a deterministic SVG
@@ -129,7 +133,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if factory is None:
             print(f"unknown fault {args.fault!r}; choices: {sorted(_CLI_FAULTS)}")
             return 2
-        scenario.inject(factory(args.target), at=0.0)
+        scenario.inject(factory(args.target), at=args.fault_at)
     with tracer.span("simulate", seed=args.seed, duration=args.duration):
         log = scenario.run(0.5, args.duration)
     record_log_metrics(metrics, log, role="capture")
@@ -370,6 +374,86 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             pass
         finally:
             server.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.httpd import ObsHTTPServer
+    from repro.service import FileTailSource, ServiceState, StreamService
+
+    tenants: List[Tuple[str, str]] = []
+    for part in args.tenants.split(","):
+        name, sep, path = part.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(
+                f"--tenants entries must be name=capture.jsonl, got {part!r}"
+            )
+        tenants.append((name, path))
+    host, sep, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not sep or not host or port < 0:
+        raise SystemExit(f"--listen must be host:port, got {args.listen!r}")
+
+    service = StreamService(
+        _config(args),
+        window=args.window,
+        baseline_span=args.baseline,
+        slices=args.slices,
+        checkpoint_dir=args.checkpoint_dir,
+        max_pending=args.max_pending,
+        rebaseline_after=args.rebaseline_after,
+    )
+    for name, _path in tenants:
+        service.add_tenant(name)
+    state = ServiceState(service)
+    server = ObsHTTPServer(state, host=host, port=port)
+    server.start()
+    print(f"serving streaming diagnosis endpoint at {server.url('/healthz')}")
+    service.start()
+    sources = [
+        FileTailSource(service, name, path, follow=args.follow)
+        for name, path in tenants
+    ]
+    for source in sources:
+        source.start()
+    try:
+        if args.follow:
+            # A live tail has no natural end; serve until told to stop.
+            _time.sleep(args.serve_for if args.serve_for is not None else 86400.0)
+        else:
+            for source in sources:
+                source.join()
+            service.drain()
+            if args.serve_for is not None:
+                _time.sleep(args.serve_for)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for source in sources:
+            source.stop()
+        service.stop()
+        for tenant in service.tenants.values():
+            row = tenant.summary()
+            print(
+                f"tenant {tenant.name}: {row['windows']} windows "
+                f"{row['statuses']}, {row['alerts']} alert(s), "
+                f"worst={row['worst_severity']}"
+            )
+        if args.report_out:
+            payload = {
+                "healthz": state.health(),
+                "alerts": state.alerts_json(),
+            }
+            with open(args.report_out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote service report to {args.report_out}")
+        server.stop()
     return 0
 
 
@@ -699,6 +783,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=3)
     sim.add_argument("--fault", help=f"inject a fault: {sorted(_CLI_FAULTS)}")
     sim.add_argument("--target", default="S3", help="fault target host")
+    sim.add_argument(
+        "--fault-at",
+        type=float,
+        default=0.0,
+        help="simulation time at which the fault is injected (default 0 = "
+        "faulty from the start; set mid-run to capture a healthy prefix)",
+    )
     _add_obs_flags(sim)
     sim.set_defaults(fn=_cmd_simulate)
 
@@ -914,6 +1005,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="ops endpoint port (default 0 = ephemeral, printed at start)",
     )
     tel.set_defaults(fn=_cmd_telemetry)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the always-on streaming diagnosis daemon over captures",
+    )
+    srv.add_argument(
+        "--tenants",
+        required=True,
+        metavar="NAME=FILE[,NAME=FILE...]",
+        help="comma-separated tenant streams, each a name=capture.jsonl pair",
+    )
+    srv.add_argument(
+        "--window",
+        type=float,
+        default=10.0,
+        help="diagnosis window length in stream seconds",
+    )
+    srv.add_argument(
+        "--baseline",
+        type=float,
+        metavar="SECONDS",
+        help="baseline learning span (default: one window)",
+    )
+    srv.add_argument(
+        "--slices",
+        type=int,
+        default=4,
+        help="per-window merge slices on the incremental path",
+    )
+    srv.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="checkpoint each closed window into DIR so a restart resumes "
+        "at the last closed window instead of remodeling from scratch",
+    )
+    srv.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="ops endpoint address (port 0 = ephemeral, printed at start)",
+    )
+    srv.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the capture files for appended messages",
+    )
+    srv.add_argument(
+        "--serve-for",
+        type=float,
+        metavar="SECONDS",
+        help="after the captures drain, keep serving HTTP this long",
+    )
+    srv.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="ingest queue bound in batches; full queue pushes back on "
+        "feeders (or drops, with accounting, for non-blocking feeds)",
+    )
+    srv.add_argument(
+        "--rebaseline-after",
+        type=int,
+        default=0,
+        help="healthy-window streak that re-learns the baseline (0 = never)",
+    )
+    srv.add_argument(
+        "--report-out",
+        metavar="FILE.json",
+        help="write the final health + alerts report as JSON to this path",
+    )
+    srv.add_argument(
+        "--special-nodes", default="", help="comma-separated service hosts"
+    )
+    srv.set_defaults(fn=_cmd_serve)
 
     prof = sub.add_parser(
         "profile",

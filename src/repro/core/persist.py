@@ -33,6 +33,13 @@ if TYPE_CHECKING:
 
 FORMAT_VERSION = 1
 
+#: Version of the streaming-service checkpoint envelope (the per-tenant
+#: resume state written by :mod:`repro.service`). Independent of the
+#: model :data:`FORMAT_VERSION`: the envelope only *references* models by
+#: content digest, so either format can evolve without invalidating the
+#: other's artifacts.
+CHECKPOINT_FORMAT_VERSION = 1
+
 
 class ModelLoadError(ValueError):
     """A persisted model could not be decoded.
@@ -252,6 +259,18 @@ def model_cache_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def model_digest(model: BehaviorModel) -> str:
+    """SHA-256 content digest of a model's canonical JSON encoding.
+
+    Two models that :func:`model_to_dict` identically share a digest, so
+    storing by digest dedups naturally (a restart that re-learns the same
+    baseline writes the same object).
+    """
+    return hashlib.sha256(
+        json.dumps(model_to_dict(model), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
 def run_fingerprint(
     log: "ControllerLog", config: "FlowDiffConfig", seed: Optional[int] = None
 ) -> str:
@@ -352,3 +371,78 @@ class ModelCache:
     ) -> _CacheEntry:
         """The cache slot for one modeling request."""
         return _CacheEntry(self, model_cache_key(log, config, window, assess))
+
+    # -- content-addressed objects (checkpoint references) --------------
+
+    def store_object(self, model: BehaviorModel) -> str:
+        """Store a model under its own content digest; return the digest.
+
+        The streaming service checkpoints reference baseline models this
+        way: the envelope carries only the digest, the bytes live here,
+        and re-storing an identical model is a no-op overwrite of the
+        same object.
+        """
+        digest = model_digest(model)
+        _CacheEntry(self, digest).store(model)
+        return digest
+
+    def load_object(self, digest: str) -> Optional[BehaviorModel]:
+        """The model stored under ``digest``, or None when absent/corrupt."""
+        return _CacheEntry(self, digest).load()
+
+
+# ----------------------------------------------------------------------
+# Streaming-service checkpoints
+# ----------------------------------------------------------------------
+
+
+def save_checkpoint(path: str, state: Dict[str, Any]) -> None:
+    """Atomically write a checkpoint envelope (version frame added here).
+
+    ``state`` is the caller's resume payload — for the streaming service,
+    the tenant cursor, window geometry, counters, and the baseline model
+    digest (the model bytes themselves live in the
+    :class:`ModelCache` via :meth:`ModelCache.store_object`). The write
+    is write-then-rename like the cache's, so a crash mid-write leaves
+    the previous checkpoint intact.
+    """
+    payload = dict(state)
+    payload["version"] = CHECKPOINT_FORMAT_VERSION
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read a checkpoint envelope written by :func:`save_checkpoint`.
+
+    Raises:
+        ModelLoadError: when the file is not valid JSON, not an object,
+            or carries an unsupported envelope version.
+        OSError: when the file cannot be read at all.
+    """
+    with open(path, encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ModelLoadError(f"invalid JSON ({exc})", path) from exc
+    if not isinstance(data, dict):
+        raise ModelLoadError(
+            f"checkpoint payload must be a JSON object, "
+            f"got {type(data).__name__}",
+            path,
+        )
+    version = data.get("version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ModelLoadError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION})",
+            path,
+        )
+    return data

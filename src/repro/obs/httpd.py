@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.alerts import AlertEngine
@@ -64,6 +64,13 @@ class ObsState:
         self.telemetry = telemetry
         self.engine = engine
         self.ledger = ledger
+        #: Extra GET routes consulted before 404: path → callable taking
+        #: the parsed query (``Dict[str, List[str]]``) and returning
+        #: ``(status, json_payload)``. How subsystems (the streaming
+        #: service) add pages without subclassing the handler.
+        self.routes: Dict[
+            str, Callable[[Dict[str, List[str]]], Tuple[int, Any]]
+        ] = {}
 
     def health(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"status": "ok"}
@@ -143,7 +150,12 @@ class _Handler(BaseHTTPRequestHandler):
             code, payload = self.state.runs_json(prefix)
             self._json(code, payload, include_body)
         else:
-            self._json(404, {"error": f"unknown path {path!r}"}, include_body)
+            route = self.state.routes.get(path)
+            if route is not None:
+                code, payload = route(parse_qs(parts.query))
+                self._json(code, payload, include_body)
+            else:
+                self._json(404, {"error": f"unknown path {path!r}"}, include_body)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
         self._respond(include_body=True)

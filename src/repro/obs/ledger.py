@@ -31,7 +31,7 @@ import json
 import os
 import time
 import warnings
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
 
@@ -176,6 +176,11 @@ class RunRecord:
             simulate = throughput.get("simulate")
             if isinstance(simulate, dict) and "messages_per_s" in simulate:
                 metrics["messages_per_s"] = float(simulate["messages_per_s"])
+            service = throughput.get("service")
+            if isinstance(service, dict) and "messages_per_s" in service:
+                metrics["service_messages_per_s"] = float(
+                    service["messages_per_s"]
+                )
         return cls(
             run_id=f"bench:{payload.get('benchmark', 'pipeline')}",
             command="bench",
@@ -388,17 +393,30 @@ class GateResult:
         return "\n".join(lines)
 
 
-def _measured_rate(record: RunRecord, name: str) -> Optional[float]:
+def _measured_rate(
+    record: RunRecord, name: str, section: str = "simulate"
+) -> Optional[float]:
     """A record's measured rate metric: ``metrics`` first (profile
-    records), then its own benchmark throughput section (bench-adapted
-    records gating against each other). None when the record predates
-    rate measurement."""
+    records), then its own benchmark throughput ``section``
+    (bench-adapted records gating against each other). None when the
+    record predates rate measurement."""
     if name in record.metrics:
         return float(record.metrics[name])
-    simulate = (record.bench.get("throughput") or {}).get("simulate")
-    if isinstance(simulate, dict) and name in simulate:
-        return float(simulate[name])
+    sub = (record.bench.get("throughput") or {}).get(section)
+    if isinstance(sub, dict) and "messages_per_s" in sub:
+        return float(sub["messages_per_s"])
     return None
+
+
+#: The throughput floors :func:`gate_records` enforces, each a
+#: ``(section, metric, row name)`` triple: the ``throughput`` subsection
+#: of the baseline bench that declares ``min_messages_per_s``, the
+#: current record's metric holding the measured rate, and the label of
+#: the resulting gate row.
+_RATE_FLOORS: Tuple[Tuple[str, str, str], ...] = (
+    ("simulate", "messages_per_s", "throughput/messages_per_s"),
+    ("service", "service_messages_per_s", "throughput/service_messages_per_s"),
+)
 
 
 def gate_records(
@@ -454,16 +472,18 @@ def gate_records(
             regressions.append(row)
 
     floors: List[Dict[str, Any]] = []
-    simulate = (baseline.bench.get("throughput") or {}).get("simulate")
-    if isinstance(simulate, dict):
-        floor = float(simulate.get("min_messages_per_s") or 0.0)
-        measured = _measured_rate(current, "messages_per_s")
+    for section, metric, row_name in _RATE_FLOORS:
+        sub = (baseline.bench.get("throughput") or {}).get(section)
+        if not isinstance(sub, dict):
+            continue
+        floor = float(sub.get("min_messages_per_s") or 0.0)
+        measured = _measured_rate(current, metric, section)
         if floor > 0 and measured is not None:
-            tol = max(effective, float(simulate.get("noise_floor_pct", 0.0)))
+            tol = max(effective, float(sub.get("noise_floor_pct", 0.0)))
             need = floor / (1.0 + tol / 100.0)
             floors.append(
                 {
-                    "name": "throughput/messages_per_s",
+                    "name": row_name,
                     "floor": floor,
                     "effective_floor": round(need, 1),
                     "current": measured,

@@ -42,6 +42,14 @@ TELEMETRY_METRIC_RE = re.compile(
 #: manifest edit per instrument.
 PROFILE_METRIC_RE = re.compile(r"^(profile|runs)_[a-z][a-z0-9_]*$")
 
+#: The streaming-service family: ``service_*`` — ingest volume and rate,
+#: queue depth, drop accounting, tenant population, window/merge
+#: outcomes, report latency, checkpoint age (:mod:`repro.service`).
+#: Grammatical like the telemetry and observatory families: the daemon
+#: mints per-tenant instruments (the tenant rides in a label, never in
+#: the name) without a manifest edit per instrument.
+SERVICE_METRIC_RE = re.compile(r"^service_[a-z][a-z0-9_]*$")
+
 #: Every metric the reproduction emits, by subsystem. The ``metric-names``
 #: lint rule fails the build when a source file registers a name missing
 #: here — add the name (keep the subsystem grouping) in the same change
@@ -92,8 +100,21 @@ KNOWN_METRICS: FrozenSet[str] = frozenset(
 #: ``component`` and ``stat`` belong to the telemetry family: the sampled
 #: component's identity (dpid, ``a--b`` edge, app name) and which window
 #: statistic a gauge carries (``last``/``mean``/``p95``/``min``/``max``).
+#: ``tenant`` belongs to the service family: one monitored environment of
+#: the streaming daemon (cardinality = the handful of environments one
+#: process watches, fixed at startup).
 KNOWN_LABELS: FrozenSet[str] = frozenset(
-    {"kind", "role", "status", "reason", "rule", "severity", "component", "stat"}
+    {
+        "kind",
+        "role",
+        "status",
+        "reason",
+        "rule",
+        "severity",
+        "component",
+        "stat",
+        "tenant",
+    }
 )
 
 
@@ -104,11 +125,13 @@ def is_valid_metric_name(name: str) -> bool:
 
 def is_known_metric(name: str) -> bool:
     """Whether ``name`` is declared: listed in the manifest, or a member
-    of a grammatical family (``telemetry_*``, ``profile_*``/``runs_*``)."""
+    of a grammatical family (``telemetry_*``, ``profile_*``/``runs_*``,
+    ``service_*``)."""
     return (
         name in KNOWN_METRICS
         or bool(TELEMETRY_METRIC_RE.match(name))
         or bool(PROFILE_METRIC_RE.match(name))
+        or bool(SERVICE_METRIC_RE.match(name))
     )
 
 

@@ -25,6 +25,19 @@ import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
+def wall_now() -> float:
+    """The observability wall clock: a monotonic seconds reading.
+
+    This is the one sanctioned wall-clock read for latency measurement in
+    packages under the flowlint ``sim-clock`` rule (the monitor, the
+    streaming service). Simulation and diagnosis logic must never branch
+    on it — it exists solely to feed duration histograms and span
+    timings, and it lives here because ``repro.obs`` is the layer that is
+    *supposed* to look at the real clock.
+    """
+    return time.perf_counter()
+
+
 class Span:
     """One timed region; children are spans opened while it was active."""
 

@@ -31,13 +31,19 @@ from repro.qa.framework import (
 )
 from repro.qa.schemas import SchemaDriftRule
 
-#: Packages whose code runs *inside* the simulation: everything here must
-#: read time from the engine clock, never the wall clock.
+#: Packages whose code must not read the wall clock directly. The first
+#: four run *inside* the simulation and take time from the engine clock;
+#: the monitor and the streaming service sit on the stream side and time
+#: themselves through the sanctioned observability clock
+#: (:func:`repro.obs.tracing.wall_now`) so their diagnosis logic stays
+#: replayable — stream timestamps in, stream timestamps out.
 SIM_CLOCK_PACKAGES: Tuple[str, ...] = (
     "repro.netsim",
     "repro.openflow",
     "repro.apps",
     "repro.workload",
+    "repro.core.monitor",
+    "repro.service",
 )
 
 #: Packages that must be deterministic under a fixed seed — the sim-clock
@@ -383,7 +389,7 @@ class MetricNamesRule(Rule):
     must use a string-literal name that passes the shared Prometheus
     validator (:mod:`repro.obs.names`) *and* be declared — listed in
     :data:`~repro.obs.names.KNOWN_METRICS` or a member of a grammatical
-    family (``telemetry_*``, ``profile_*``/``runs_*``; see
+    family (``telemetry_*``, ``profile_*``/``runs_*``, ``service_*``; see
     :func:`~repro.obs.names.is_known_metric`);
     label keyword names must be valid and in
     :data:`~repro.obs.names.KNOWN_LABELS`. Dynamic names are allowed only
@@ -439,7 +445,7 @@ class MetricNamesRule(Rule):
                         f"metric {name!r} is not declared in the manifest "
                         f"(add it to KNOWN_METRICS in repro/obs/names.py, "
                         f"or follow a declared family grammar: telemetry_*, "
-                        f"profile_*/runs_*)"
+                        f"profile_*/runs_*, service_*)"
                     ),
                 )
             for kw in call.keywords:

@@ -1,0 +1,172 @@
+"""The service's HTTP surface: diff reports, alerts, traces, health.
+
+:class:`ServiceState` plugs the multi-tenant daemon into the existing
+read-only ops endpoint (:mod:`repro.obs.httpd`): the shared ``/metrics``
+page exports the tenant-labeled ``service_*`` family through the normal
+Prometheus grammar, ``/healthz`` gains a per-tenant summary, and four
+service pages ride the endpoint's route table:
+
+* ``/tenants``               — every tenant's phase/progress/health row;
+* ``/diff?tenant=X[&n=K]``   — the latest ``K`` window diagnosis reports;
+* ``/alerts[?tenant=X]``     — fired alerts, tenant-labeled, stream-time
+  ordered (overrides the single-engine page of the base endpoint);
+* ``/traces?tenant=X[&corr=N][&flow=S][&limit=K]`` — flight-recorder
+  chains reconstructed from the tenant's recent-message ring.
+
+Everything is read-only and served from live pipeline state; no handler
+mutates a tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.httpd import ObsHTTPServer, ObsState
+from repro.obs.ledger import RunLedger
+from repro.obs.telemetry import NOOP_TELEMETRY, TelemetryPlane
+from repro.service.daemon import StreamService
+from repro.service.tenant import TenantPipeline
+
+Query = Dict[str, List[str]]
+
+
+class ServiceState(ObsState):
+    """The ops-endpoint state for a running :class:`StreamService`."""
+
+    def __init__(
+        self,
+        service: StreamService,
+        telemetry: TelemetryPlane = NOOP_TELEMETRY,
+        ledger: Optional[RunLedger] = None,
+    ) -> None:
+        super().__init__(
+            registry=service.metrics, telemetry=telemetry, ledger=ledger
+        )
+        self.service = service
+        self.routes["/tenants"] = self._route_tenants
+        self.routes["/diff"] = self._route_diff
+        self.routes["/traces"] = self._route_traces
+
+    # -- overridden base pages ------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness plus per-tenant progress; ``status`` stays ``ok``
+        while the daemon serves (per-tenant health is in the rows)."""
+        payload = super().health()
+        payload["tenants"] = {
+            name: tenant.summary()
+            for name, tenant in self.service.tenants.items()
+        }
+        if self.service.errors:
+            payload["ingest_errors"] = list(self.service.errors)
+        return payload
+
+    def alerts_json(self) -> List[Dict[str, Any]]:
+        """Every tenant's fired alerts, tenant-labeled, ordered by time."""
+        out: List[Dict[str, Any]] = []
+        for name, tenant in self.service.tenants.items():
+            engine = tenant.alert_engine
+            if engine is None:
+                continue
+            for alert in engine.alerts:
+                row = alert.to_dict()
+                row["tenant"] = name
+                out.append(row)
+        out.sort(key=lambda row: row.get("timestamp") or 0.0)
+        return out
+
+    # -- service routes --------------------------------------------------
+
+    def _tenant_for(self, query: Query) -> Tuple[Optional[TenantPipeline], Any]:
+        """Resolve ``?tenant=``; a single-tenant service needs no query."""
+        names = query.get("tenant")
+        tenants = self.service.tenants
+        if names:
+            tenant = tenants.get(names[0])
+            if tenant is None:
+                return None, (404, {"error": f"unknown tenant {names[0]!r}"})
+            return tenant, None
+        if len(tenants) == 1:
+            return next(iter(tenants.values())), None
+        return None, (
+            400,
+            {"error": "tenant query required", "tenants": sorted(tenants)},
+        )
+
+    def _route_tenants(self, query: Query) -> Tuple[int, Any]:
+        return 200, {
+            "tenants": [t.summary() for t in self.service.tenants.values()]
+        }
+
+    def _route_diff(self, query: Query) -> Tuple[int, Any]:
+        tenant, error = self._tenant_for(query)
+        if tenant is None:
+            return error
+        try:
+            n = max(1, int(query.get("n", ["1"])[0]))
+        except ValueError:
+            return 400, {"error": "n must be an integer"}
+        windows = [
+            {
+                "t_start": entry.t_start,
+                "t_end": entry.t_end,
+                "healthy": entry.healthy,
+                "report": entry.report.to_dict(),
+            }
+            for entry in tenant.history[-n:]
+        ]
+        return 200, {
+            "tenant": tenant.name,
+            "phase": tenant.phase,
+            "windows": windows,
+        }
+
+    def _route_traces(self, query: Query) -> Tuple[int, Any]:
+        tenant, error = self._tenant_for(query)
+        if tenant is None:
+            return error
+        # Imported lazily: flight reconstruction is a heavyweight
+        # analysis path the ingest loop never touches.
+        from repro.obs.flightrec import FlightRecorder
+        from repro.openflow.log import ControllerLog
+
+        recorder = FlightRecorder.from_log(
+            ControllerLog(list(tenant.trace_ring)),
+            occurrence_gap=tenant.flowdiff.config.signature.occurrence_gap,
+        )
+        timelines = recorder.timelines
+        corr = query.get("corr")
+        if corr:
+            try:
+                corr_id = int(corr[0])
+            except ValueError:
+                return 400, {"error": "corr must be an integer"}
+            timeline = recorder.timeline(corr_id)
+            if timeline is None:
+                return 404, {"error": f"no chain with corr id {corr_id}"}
+            timelines = [timeline]
+        flow = query.get("flow")
+        if flow:
+            timelines = [
+                t for t in timelines if t.flow is not None and flow[0] in str(t.flow)
+            ]
+        try:
+            limit = max(1, int(query.get("limit", ["50"])[0]))
+        except ValueError:
+            return 400, {"error": "limit must be an integer"}
+        return 200, {
+            "tenant": tenant.name,
+            "chains": len(timelines),
+            "timelines": [t.to_dict() for t in timelines[:limit]],
+        }
+
+
+def create_server(
+    service: StreamService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    telemetry: TelemetryPlane = NOOP_TELEMETRY,
+    ledger: Optional[RunLedger] = None,
+) -> ObsHTTPServer:
+    """An ops endpoint bound to ``service`` (start it with ``.start()``)."""
+    return ObsHTTPServer(ServiceState(service, telemetry, ledger), host, port)

@@ -1,0 +1,379 @@
+"""One tenant of the streaming service: ingest → windows → diagnoses.
+
+A :class:`TenantPipeline` owns everything one monitored environment
+needs: the baseline-learning phase, the open
+:class:`~repro.service.incremental.IncrementalWindow`, the shared
+:class:`~repro.core.monitor.DiagnosisStream` (diffing, history, health
+metrics, alerting), a bounded flight-recorder ring of recent raw
+messages, and checkpoint/restore through :mod:`repro.core.persist` so a
+restarted daemon resumes at the last closed window instead of cold
+remodeling.
+
+Memory is bounded by construction: raw messages and partial signatures
+live only for the currently open window, the report history is trimmed
+to ``history_limit`` entries, and the trace ring is a fixed-size deque.
+
+The pipeline is single-threaded by design — the daemon
+(:mod:`repro.service.daemon`) serializes all ingest through one drain
+thread, so none of this needs locks.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.events import extract_flow_records
+from repro.core.flowdiff import FlowDiff, FlowDiffConfig
+from repro.core.groups import ApplicationGroup
+from repro.core.monitor import DiagnosisStream, WindowReport
+from repro.core.persist import (
+    ModelCache,
+    ModelLoadError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.tasks.library import TaskLibrary
+from repro.obs.alerts import AlertEngine
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry
+from repro.obs.tracing import wall_now
+from repro.openflow.log import ControllerLog
+from repro.openflow.messages import ControlMessage
+from repro.service.incremental import STATUS_FALLBACK, IncrementalWindow
+
+PHASE_BASELINE = "baseline"
+PHASE_STREAMING = "streaming"
+
+
+class TenantPipeline:
+    """Always-on incremental diagnosis for one monitored environment.
+
+    Args:
+        name: the tenant label (rides on every ``service_*`` metric).
+        config: FlowDiff tunables; defaults are the paper's settings.
+        window: seconds of stream per diagnosis window.
+        baseline_span: seconds of stream learned as the healthy baseline
+            before windowed diagnosis starts; defaults to ``window``.
+        slices: sub-intervals per window for incremental folding.
+        task_library: learned operator-task signatures used to silence
+            planned changes (forces per-window log materialization).
+        rebaseline_after: see :class:`~repro.core.monitor.DiagnosisStream`.
+        metrics: shared service registry; all ``service_*`` instruments
+            carry a ``tenant`` label.
+        alert_engine: per-tenant alert engine; every closed window streams
+            through it.
+        checkpoint_dir: when set, the baseline model and per-window cursor
+            persist here (via :mod:`repro.core.persist`); a new pipeline
+            pointed at the same directory resumes instead of relearning.
+        history_limit: report-history cap; older windows are dropped (the
+            checkpointed cursor, not history, is the durable state).
+        trace_capacity: raw messages retained for flight-recorder traces.
+        resume: attempt checkpoint restore at construction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[FlowDiffConfig] = None,
+        *,
+        window: float = 30.0,
+        baseline_span: Optional[float] = None,
+        slices: int = 4,
+        task_library: Optional[TaskLibrary] = None,
+        rebaseline_after: int = 0,
+        metrics: MetricsRegistry = NOOP_REGISTRY,
+        alert_engine: Optional[AlertEngine] = None,
+        checkpoint_dir: Optional[str] = None,
+        history_limit: int = 256,
+        trace_capacity: int = 4096,
+        resume: bool = True,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.name = name
+        self.flowdiff = FlowDiff(config, metrics=metrics)
+        self.window = float(window)
+        self.baseline_span = float(
+            baseline_span if baseline_span is not None else window
+        )
+        self.slices = max(1, int(slices))
+        self.metrics = metrics
+        self.history_limit = max(1, int(history_limit))
+        self.stream = DiagnosisStream(
+            self.flowdiff,
+            task_library=task_library,
+            rebaseline_after=rebaseline_after,
+            metrics=metrics,
+            alert_engine=alert_engine,
+        )
+        self.trace_ring: Deque[ControlMessage] = deque(maxlen=trace_capacity)
+
+        self._m_ingested = metrics.counter(
+            "service_ingest_messages_total", tenant=name
+        )
+        self._m_late = metrics.counter(
+            "service_dropped_total", tenant=name, reason="late"
+        )
+        self._m_resumed = metrics.counter(
+            "service_resume_skipped_total", tenant=name
+        )
+        self._m_windows = metrics.counter("service_windows_total", tenant=name)
+        self._m_report = metrics.histogram("service_report_seconds")
+        self._m_checkpoints = metrics.counter(
+            "service_checkpoints_total", tenant=name
+        )
+        self._m_checkpoint_age = metrics.gauge(
+            "service_checkpoint_age_seconds", tenant=name
+        )
+
+        self.phase = PHASE_BASELINE
+        self.status_counts: Dict[str, int] = {}
+        self.windows_total = 0
+        self.resumed = False
+        self._buffer: List[ControlMessage] = []
+        self._t_first: Optional[float] = None
+        self._baseline_end: Optional[float] = None
+        self._cursor: Optional[float] = None
+        self._resume_cursor: Optional[float] = None
+        self._win: Optional[IncrementalWindow] = None
+        self._expected_groups: Tuple[ApplicationGroup, ...] = ()
+        self._baseline_digest: Optional[str] = None
+        self._last_checkpoint_ts: Optional[float] = None
+
+        self.checkpoint_path: Optional[str] = None
+        self._cache: Optional[ModelCache] = None
+        if checkpoint_dir:
+            self.checkpoint_path = os.path.join(
+                checkpoint_dir, f"checkpoint-{name}.json"
+            )
+            self._cache = ModelCache(checkpoint_dir)
+            if resume:
+                self._restore()
+
+    # -- ingest ----------------------------------------------------------
+
+    def ingest(self, messages: List[ControlMessage]) -> List[WindowReport]:
+        """Consume a batch of time-ordered messages; return closed windows.
+
+        Messages older than an already-closed window are dropped (with
+        ``service_dropped_total{reason="late"}`` accounting) — the batch
+        path would have sorted them in, but a closed window is immutable
+        by design; replays during checkpoint resume are skipped silently
+        under ``service_resume_skipped_total``.
+        """
+        self._m_ingested.inc(len(messages))
+        reports: List[WindowReport] = []
+        ring = self.trace_ring
+        resume_cursor = self._resume_cursor
+        for msg in messages:
+            ts = msg.timestamp
+            ring.append(msg)
+            if resume_cursor is not None:
+                if ts < resume_cursor:
+                    self._m_resumed.inc()
+                    continue
+                resume_cursor = None
+                self._resume_cursor = None
+            if self.phase == PHASE_BASELINE:
+                if self._t_first is None:
+                    self._t_first = ts
+                    self._baseline_end = ts + self.baseline_span
+                if ts < self._baseline_end:  # type: ignore[operator]
+                    self._buffer.append(msg)
+                    continue
+                self._learn_baseline()
+            win = self._win
+            if ts < win.t_start:  # type: ignore[union-attr]
+                self._m_late.inc()
+                continue
+            while ts >= win.t_end:  # type: ignore[union-attr]
+                reports.append(self._close_window())
+                win = self._win
+            win.add(msg)  # type: ignore[union-attr]
+        return reports
+
+    # -- phases ----------------------------------------------------------
+
+    def _learn_baseline(self) -> None:
+        """Model the buffered span as the healthy reference and move on."""
+        assert self._t_first is not None and self._baseline_end is not None
+        baseline_log = ControllerLog(self._buffer)
+        baseline = self.flowdiff.model(
+            baseline_log, window=(self._t_first, self._baseline_end)
+        )
+        self.stream.set_baseline_model(baseline)
+        self._expected_groups = tuple(baseline.groups())
+        self._buffer = []
+        self.phase = PHASE_STREAMING
+        self._cursor = self._baseline_end
+        if self._cache is not None:
+            self._baseline_digest = self._cache.store_object(baseline)
+        self._open_window()
+
+    def _open_window(self) -> None:
+        assert self._cursor is not None
+        self._win = IncrementalWindow(
+            self._cursor,
+            self._cursor + self.window,
+            self.flowdiff.config.signature,
+            self.slices,
+            self._expected_groups,
+        )
+
+    def _close_window(self) -> WindowReport:
+        """Close the open window, diagnose it, checkpoint, open the next."""
+        win = self._win
+        assert win is not None
+        started = wall_now()
+        t0, t1 = win.t_start, win.t_end
+        need_log = (
+            self.stream.task_library is not None
+            or self.stream.rebaseline_after > 0
+        )
+        outcome = win.close()
+        if outcome is None:
+            # Dirty window: the batch path, bit-identical to the monitor.
+            sub = win.as_log()
+            records = extract_flow_records(
+                sub, self.flowdiff.config.signature.occurrence_gap
+            )
+            model = self.flowdiff.model(
+                sub, window=(t0, t1), assess=False, records=records
+            )
+            status = STATUS_FALLBACK
+            expected = tuple(model.groups())
+            window_log: Optional[ControllerLog] = sub
+        else:
+            model = outcome.model
+            records = outcome.records
+            status = outcome.status
+            expected = outcome.groups
+            window_log = win.as_log() if need_log else None
+        self.metrics.counter(
+            "service_window_merge_total", tenant=self.name, status=status
+        ).inc()
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        entry = self.stream.observe(
+            t0, t1, model, window_log=window_log, records=records, started=started
+        )
+        history = self.stream.history
+        if len(history) > self.history_limit:
+            del history[: len(history) - self.history_limit]
+        self.windows_total += 1
+        self._m_windows.inc()
+        self._expected_groups = expected
+        self._cursor = t1
+        self._open_window()
+        anchor = (
+            self._last_checkpoint_ts
+            if self._last_checkpoint_ts is not None
+            else self._baseline_end
+        )
+        if anchor is not None:
+            # Stream-time seconds of diagnosis an unplanned restart would
+            # have to replay — the staleness of the durable state.
+            self._m_checkpoint_age.set(t1 - anchor)
+        self._checkpoint(t1)
+        self._m_report.observe(wall_now() - started)
+        return entry
+
+    # -- checkpoint / restore -------------------------------------------
+
+    def _checkpoint(self, at_ts: float) -> None:
+        if self.checkpoint_path is None:
+            return
+        state = {
+            "tenant": self.name,
+            "cursor": self._cursor,
+            "window": self.window,
+            "baseline_span": self.baseline_span,
+            "slices": self.slices,
+            "t_first": self._t_first,
+            "baseline_digest": self._baseline_digest,
+            "expected_groups": [
+                [sorted(g.members), sorted(g.services)]
+                for g in self._expected_groups
+            ],
+            "windows_total": self.windows_total,
+            "status_counts": dict(self.status_counts),
+            "checkpointed_at": at_ts,
+        }
+        save_checkpoint(self.checkpoint_path, state)
+        self._last_checkpoint_ts = at_ts
+        self._m_checkpoints.inc()
+
+    def _restore(self) -> None:
+        """Resume from the tenant's checkpoint when one is loadable.
+
+        Any failure (no file, version skew, evicted baseline model) falls
+        back to a cold start — restore is an optimization, never a
+        correctness dependency.
+        """
+        assert self.checkpoint_path is not None and self._cache is not None
+        if not os.path.exists(self.checkpoint_path):
+            return
+        try:
+            state = load_checkpoint(self.checkpoint_path)
+        except (ModelLoadError, OSError):
+            return
+        digest = state.get("baseline_digest")
+        baseline = self._cache.load_object(digest) if digest else None
+        if baseline is None:
+            return
+        self.stream.set_baseline_model(baseline)
+        self.phase = PHASE_STREAMING
+        self._t_first = state.get("t_first")
+        self._baseline_end = (
+            self._t_first + self.baseline_span
+            if self._t_first is not None
+            else None
+        )
+        self._baseline_digest = digest
+        self._cursor = float(state["cursor"])
+        self._resume_cursor = self._cursor
+        self._expected_groups = tuple(
+            ApplicationGroup(members=frozenset(members), services=frozenset(services))
+            for members, services in state.get("expected_groups", [])
+        )
+        self.windows_total = int(state.get("windows_total", 0))
+        self.status_counts = dict(state.get("status_counts", {}))
+        self._last_checkpoint_ts = state.get("checkpointed_at")
+        self.resumed = True
+        self._open_window()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def history(self) -> List[WindowReport]:
+        return self.stream.history
+
+    @property
+    def alert_engine(self) -> Optional[AlertEngine]:
+        return self.stream.alert_engine
+
+    def summary(self) -> Dict[str, object]:
+        """One row of ``/tenants``: phase, progress, and health."""
+        worst = None
+        alerts = 0
+        engine = self.stream.alert_engine
+        if engine is not None:
+            alerts = len(engine.alerts)
+            severity = engine.worst_severity()
+            worst = str(severity) if severity is not None else None
+        last_window = None
+        if self.stream.history:
+            tail = self.stream.history[-1]
+            last_window = [tail.t_start, tail.t_end]
+        return {
+            "tenant": self.name,
+            "phase": self.phase,
+            "resumed": self.resumed,
+            "windows": self.windows_total,
+            "statuses": dict(self.status_counts),
+            "cursor": self._cursor,
+            "last_window": last_window,
+            "healthy_streak": self.stream.healthy_streak(),
+            "alerts": alerts,
+            "worst_severity": worst,
+        }

@@ -62,6 +62,8 @@ class TestManifest:
             "runs_records_total",
             "profile_folded_bytes",
             "telemetry_link_utilization",
+            "service_ingest_messages_total",
+            "service_queue_depth",
         ],
     )
     def test_grammatical_families_are_known(self, name):
@@ -69,7 +71,15 @@ class TestManifest:
 
     @pytest.mark.parametrize(
         "name",
-        ["profile_", "runs_BadCase", "profiler_spans_total", "run_records"],
+        [
+            "profile_",
+            "runs_BadCase",
+            "profiler_spans_total",
+            "run_records",
+            "service_",
+            "service_BadCase",
+            "services_queue_depth",
+        ],
     )
     def test_family_grammar_is_strict(self, name):
         assert not is_known_metric(name)

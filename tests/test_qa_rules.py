@@ -92,6 +92,46 @@ class TestSimClock:
         assert result.ok
         assert result.suppressed == 1
 
+    def test_monitor_package_is_covered(self):
+        # core.monitor diffs stream-time windows; a wall-clock read there
+        # would skew latency accounting against stream timestamps.
+        mod = module(
+            """\
+            import time
+
+            def observe(entry):
+                return time.monotonic()
+            """,
+            name="repro.core.monitor",
+        )
+        assert not run(SimClockRule(), mod).ok
+
+    def test_service_package_is_covered(self):
+        # The streaming daemon reasons in stream time; only the sanctioned
+        # wall_now() (and time.sleep for polling) are allowed.
+        mod = module(
+            """\
+            import time
+
+            def close_window(win):
+                return time.perf_counter()
+            """,
+            name="repro.service.faketenant",
+        )
+        assert not run(SimClockRule(), mod).ok
+
+    def test_sleep_is_allowed_in_service(self):
+        mod = module(
+            """\
+            import time
+
+            def poll(interval):
+                time.sleep(interval)
+            """,
+            name="repro.service.faketail",
+        )
+        assert run(SimClockRule(), mod).ok
+
 
 class TestDeterminism:
     def test_seeded_instance_is_clean(self):
@@ -408,6 +448,33 @@ class TestMetricNames:
             """\
             def instrument(metrics):
                 return metrics.counter("profile_BadName")
+            """,
+            name="repro.core.fakemetrics",
+        )
+        result = run(MetricNamesRule(), mod)
+        (finding,) = result.findings
+        assert "KNOWN_METRICS" in finding.message
+
+    def test_service_family_is_declared(self):
+        # ``service_*`` membership is grammatical like profile/runs: the
+        # streaming service mints tenant-labeled instruments freely.
+        mod = module(
+            """\
+            def instrument(metrics):
+                metrics.counter("service_windows_total", tenant="prod")
+                return metrics.counter(
+                    "service_dropped_total", tenant="prod", reason="late"
+                )
+            """,
+            name="repro.core.fakemetrics",
+        )
+        assert run(MetricNamesRule(), mod).ok
+
+    def test_service_family_grammar_is_enforced(self):
+        mod = module(
+            """\
+            def instrument(metrics):
+                return metrics.counter("service_BadName")
             """,
             name="repro.core.fakemetrics",
         )

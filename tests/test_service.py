@@ -1,0 +1,400 @@
+"""Tests for the streaming FlowDiff service (:mod:`repro.service`).
+
+The load-bearing property is *equivalence*: a window assembled
+incrementally through the signatures' ``merge()`` path must produce a
+diagnosis report dict-identical to the batch :class:`SlidingDiagnoser`
+remodeling the same window from scratch. Everything else — checkpoint
+resume, tenant isolation, backpressure accounting, the HTTP surface —
+rides on top of that.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.monitor import SlidingDiagnoser
+from repro.faults import LinkLoss
+from repro.obs.metrics import MetricsRegistry
+from repro.scenarios import three_tier_lab
+from repro.service import (
+    STATUS_FALLBACK,
+    STATUS_MERGED,
+    FileTailSource,
+    StreamService,
+    TenantPipeline,
+    create_server,
+    replay_messages,
+)
+from repro.openflow.serialize import save_log
+
+pytestmark = pytest.mark.slow
+
+WINDOW = 10.0
+#: Long enough that the lab's healthy traffic models as stable; a 10s
+#: baseline still flags its own noise as congestion.
+BASELINE = 15.0
+
+
+def lab_log(fault_at=None, total=40.0):
+    scenario = three_tier_lab(seed=3)
+    if fault_at is not None:
+        scenario.inject(LinkLoss([("ofs1", "ofs5")], loss_rate=0.3), at=fault_at)
+    return scenario.run(0.5, total, drain=5.0)
+
+
+@pytest.fixture(scope="module")
+def healthy_log():
+    return lab_log()
+
+
+@pytest.fixture(scope="module")
+def faulty_log():
+    # Loss on the core link turns on at t=20: windows past it degrade.
+    return lab_log(fault_at=20.0)
+
+
+def batch_reference(log, window=WINDOW, baseline=BASELINE):
+    """The batch monitor's window reports over the same capture."""
+    diagnoser = SlidingDiagnoser(window=window)
+    t_first, _ = log.time_span
+    diagnoser.set_baseline(log, t_first, t_first + baseline)
+    diagnoser.advance(log)
+    return diagnoser.history
+
+
+def stream_through(log, batch_size=500, **kwargs):
+    """Feed the capture through a fresh tenant pipeline in small batches."""
+    registry = kwargs.pop("metrics", MetricsRegistry())
+    kwargs.setdefault("baseline_span", BASELINE)
+    tenant = TenantPipeline(
+        "t1", window=WINDOW, metrics=registry, **kwargs
+    )
+    messages = list(log)
+    for start in range(0, len(messages), batch_size):
+        tenant.ingest(messages[start : start + batch_size])
+    return tenant, registry
+
+
+def assert_histories_identical(streamed, reference):
+    """Every streamed window must be dict-identical to the batch one."""
+    assert streamed, "the service must close at least one window"
+    assert len(streamed) <= len(reference)
+    for svc, ref in zip(streamed, reference):
+        assert (svc.t_start, svc.t_end) == (ref.t_start, ref.t_end)
+        assert svc.report.to_dict() == ref.report.to_dict()
+
+
+class TestIncrementalEquivalence:
+    def test_healthy_capture_matches_batch(self, healthy_log):
+        tenant, registry = stream_through(healthy_log)
+        assert_histories_identical(tenant.history, batch_reference(healthy_log))
+        # Every window went through the merge path — no remodel happened.
+        assert tenant.status_counts == {STATUS_MERGED: tenant.windows_total}
+        assert registry.value(
+            "service_window_merge_total", tenant="t1", status=STATUS_MERGED
+        ) == tenant.windows_total
+        assert all(entry.healthy for entry in tenant.history)
+
+    def test_faulted_capture_matches_batch(self, faulty_log):
+        tenant, _ = stream_through(faulty_log)
+        reference = batch_reference(faulty_log)
+        assert_histories_identical(tenant.history, reference)
+        assert tenant.status_counts == {STATUS_MERGED: tenant.windows_total}
+        # The link-loss onset is visible to both paths identically.
+        assert any(not entry.healthy for entry in tenant.history)
+
+    def test_out_of_order_window_falls_back_identically(self, healthy_log):
+        messages = list(healthy_log)
+        # Swap two strictly-ordered messages inside one post-baseline
+        # window so exactly that window goes dirty; equivalence must
+        # still hold because the fallback path re-sorts the raw buffer.
+        t_first, _ = healthy_log.time_span
+        lo = t_first + BASELINE + 2.0
+        idx = next(
+            i for i, msg in enumerate(messages) if msg.timestamp > lo
+        )
+        jdx = next(
+            j
+            for j in range(idx + 1, len(messages))
+            if lo < messages[j].timestamp < lo + WINDOW / 2
+            and messages[j].timestamp > messages[idx].timestamp
+        )
+        messages[idx], messages[jdx] = messages[jdx], messages[idx]
+        registry = MetricsRegistry()
+        tenant = TenantPipeline(
+            "t1", window=WINDOW, baseline_span=BASELINE, metrics=registry
+        )
+        tenant.ingest(messages)
+        assert tenant.status_counts.get(STATUS_FALLBACK, 0) >= 1
+        assert_histories_identical(tenant.history, batch_reference(healthy_log))
+
+    def test_single_batch_and_tiny_batches_agree(self, healthy_log):
+        one, _ = stream_through(healthy_log, batch_size=10 ** 9)
+        tiny, _ = stream_through(healthy_log, batch_size=7)
+        assert len(one.history) == len(tiny.history)
+        for a, b in zip(one.history, tiny.history):
+            assert a.report.to_dict() == b.report.to_dict()
+
+
+class TestCheckpointRestore:
+    def test_restart_resumes_and_reports_match(self, faulty_log, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        uninterrupted, _ = stream_through(faulty_log)
+        messages = list(faulty_log)
+        # Kill mid-stream, after at least one window has closed and
+        # while another is open.
+        t_first, _ = faulty_log.time_span
+        cut = t_first + BASELINE + 1.5 * WINDOW
+        split = next(
+            i for i, msg in enumerate(messages) if msg.timestamp >= cut
+        )
+        registry = MetricsRegistry()
+        first = TenantPipeline(
+            "t1",
+            window=WINDOW,
+            baseline_span=BASELINE,
+            metrics=registry,
+            checkpoint_dir=ckpt,
+        )
+        first.ingest(messages[:split])
+        assert first.windows_total >= 1
+        assert registry.value("service_checkpoints_total", tenant="t1") >= 1
+
+        # A new pipeline on the same directory resumes at the cursor; the
+        # full stream is replayed from the start, as a restarted tail
+        # would, and already-diagnosed spans are skipped.
+        second = TenantPipeline(
+            "t1",
+            window=WINDOW,
+            baseline_span=BASELINE,
+            metrics=registry,
+            checkpoint_dir=ckpt,
+        )
+        assert second.resumed
+        assert second.phase == "streaming"
+        second.ingest(messages)
+        assert registry.value("service_resume_skipped_total", tenant="t1") > 0
+
+        combined = first.history + second.history
+        assert len(combined) == len(uninterrupted.history)
+        for resumed, straight in zip(combined, uninterrupted.history):
+            assert (resumed.t_start, resumed.t_end) == (
+                straight.t_start,
+                straight.t_end,
+            )
+            assert resumed.report.to_dict() == straight.report.to_dict()
+
+    def test_cold_start_when_no_checkpoint_exists(self, tmp_path):
+        tenant = TenantPipeline(
+            "fresh", window=WINDOW, checkpoint_dir=str(tmp_path / "empty")
+        )
+        assert not tenant.resumed
+        assert tenant.phase == "baseline"
+
+    def test_resume_can_be_disabled(self, healthy_log, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        first = TenantPipeline("t1", window=WINDOW, checkpoint_dir=ckpt)
+        first.ingest(list(healthy_log))
+        again = TenantPipeline(
+            "t1", window=WINDOW, checkpoint_dir=ckpt, resume=False
+        )
+        assert not again.resumed
+        assert again.phase == "baseline"
+
+
+class TestTenantIsolation:
+    def test_tenants_diagnose_independently(self, healthy_log, faulty_log):
+        service = StreamService(window=WINDOW, baseline_span=BASELINE)
+        service.add_tenant("steady")
+        service.add_tenant("broken")
+        with service:
+            replay_messages(service, "steady", list(healthy_log))
+            replay_messages(service, "broken", list(faulty_log))
+            service.drain()
+        steady = service.tenants["steady"]
+        broken = service.tenants["broken"]
+        assert all(entry.healthy for entry in steady.history)
+        assert any(not entry.healthy for entry in broken.history)
+        assert steady.summary()["worst_severity"] is None
+        assert broken.summary()["worst_severity"] == "critical"
+        # Shared registry, tenant-labeled instruments: both visible.
+        assert service.metrics.value(
+            "service_windows_total", tenant="steady"
+        ) == steady.windows_total
+        assert service.metrics.value(
+            "service_windows_total", tenant="broken"
+        ) == broken.windows_total
+
+    def test_duplicate_tenant_is_rejected(self):
+        service = StreamService()
+        service.add_tenant("a")
+        with pytest.raises(ValueError):
+            service.add_tenant("a")
+
+    def test_unknown_tenant_feed_raises(self, healthy_log):
+        service = StreamService()
+        with pytest.raises(KeyError):
+            service.feed("ghost", list(healthy_log)[:5])
+
+
+class TestBackpressure:
+    def test_nonblocking_feed_drops_with_accounting(self, healthy_log):
+        # The drain thread is never started, so the queue fills and the
+        # overflow batch must be dropped — counted, not buffered.
+        service = StreamService(window=WINDOW, max_pending=2)
+        service.add_tenant("t1")
+        batch = list(healthy_log)[:100]
+        accepted = []
+        for _ in range(4):
+            accepted.append(service.feed("t1", batch, block=False))
+        assert accepted[:2] == [100, 100]
+        assert accepted[2:] == [0, 0]
+        assert (
+            service.metrics.value(
+                "service_dropped_total", tenant="t1", reason="backpressure"
+            )
+            == 200
+        )
+        assert service.metrics.value("service_queue_depth") == 200
+
+    def test_blocking_feed_waits_for_room(self, healthy_log):
+        service = StreamService(window=WINDOW, max_pending=1)
+        service.add_tenant("t1")
+        batch = list(healthy_log)[:50]
+        service.feed("t1", batch)  # fills the queue
+        done = threading.Event()
+
+        def second_feed():
+            service.feed("t1", batch)  # must block until the drain runs
+            done.set()
+
+        feeder = threading.Thread(target=second_feed, daemon=True)
+        feeder.start()
+        assert not done.wait(0.2), "feed should block while the queue is full"
+        service.start()
+        assert done.wait(5.0), "feed should complete once draining starts"
+        service.stop()
+        assert service.metrics.total("service_dropped_total") == 0
+
+
+class TestDaemonSources:
+    def test_file_tail_drives_diagnosis(self, faulty_log, tmp_path):
+        path = str(tmp_path / "capture.jsonl")
+        save_log(faulty_log, path)
+        service = StreamService(window=WINDOW, baseline_span=BASELINE)
+        service.add_tenant("t1")
+        with service:
+            source = FileTailSource(service, "t1", path)
+            source.start()
+            source.join(timeout=60.0)
+            service.drain()
+        tenant = service.tenants["t1"]
+        assert tenant.windows_total >= 2
+        assert tenant.status_counts.get(STATUS_MERGED, 0) >= 2
+        assert tenant.summary()["worst_severity"] == "critical"
+
+    def test_undecodable_lines_are_counted_not_fatal(self, healthy_log, tmp_path):
+        path = str(tmp_path / "capture.jsonl")
+        save_log(healthy_log, path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("this is not json\n")
+            fh.write('{"type": "unknown_kind"}\n')
+        service = StreamService(window=WINDOW, baseline_span=BASELINE)
+        service.add_tenant("t1")
+        with service:
+            source = FileTailSource(service, "t1", path)
+            source.start()
+            source.join(timeout=60.0)
+            service.drain()
+        assert (
+            service.metrics.value(
+                "service_dropped_total", tenant="t1", reason="decode"
+            )
+            == 2
+        )
+        assert service.tenants["t1"].windows_total >= 1
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _get_error(url):
+    try:
+        urllib.request.urlopen(url)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+    raise AssertionError(f"expected an HTTP error from {url}")
+
+
+class TestHTTPSurface:
+    @pytest.fixture(scope="class")
+    def served(self, faulty_log):
+        service = StreamService(window=WINDOW, baseline_span=BASELINE)
+        service.add_tenant("prod")
+        service.add_tenant("idle")
+        with service:
+            replay_messages(service, "prod", list(faulty_log))
+            service.drain()
+        server = create_server(service)
+        server.start()
+        yield service, server
+        server.stop()
+
+    def test_healthz_carries_tenant_rows(self, served):
+        _, server = served
+        payload = _get(server.url("/healthz"))
+        assert payload["status"] == "ok"
+        assert payload["tenants"]["prod"]["windows"] >= 2
+        assert payload["tenants"]["idle"]["phase"] == "baseline"
+
+    def test_tenants_page_lists_everyone(self, served):
+        _, server = served
+        payload = _get(server.url("/tenants"))
+        names = {row["tenant"] for row in payload["tenants"]}
+        assert names == {"prod", "idle"}
+
+    def test_diff_returns_recent_reports(self, served):
+        service, server = served
+        payload = _get(server.url("/diff?tenant=prod&n=2"))
+        assert payload["tenant"] == "prod"
+        assert len(payload["windows"]) == 2
+        live = service.tenants["prod"].history[-2:]
+        assert payload["windows"][0]["report"] == live[0].report.to_dict()
+        assert payload["windows"][-1]["healthy"] == live[-1].healthy
+
+    def test_diff_requires_tenant_when_ambiguous(self, served):
+        _, server = served
+        code, payload = _get_error(server.url("/diff"))
+        assert code == 400
+        assert payload["tenants"] == ["idle", "prod"]
+
+    def test_unknown_tenant_is_404(self, served):
+        _, server = served
+        code, _ = _get_error(server.url("/diff?tenant=nope"))
+        assert code == 404
+
+    def test_alerts_are_tenant_labeled_and_ordered(self, served):
+        _, server = served
+        alerts = _get(server.url("/alerts"))
+        assert alerts, "the faulted tenant must have fired alerts"
+        assert {row["tenant"] for row in alerts} == {"prod"}
+        stamps = [row["timestamp"] or 0.0 for row in alerts]
+        assert stamps == sorted(stamps)
+
+    def test_traces_reconstruct_from_the_ring(self, served):
+        _, server = served
+        payload = _get(server.url("/traces?tenant=prod&limit=5"))
+        assert payload["chains"] > 0
+        assert len(payload["timelines"]) == 5
+
+    def test_metrics_exports_service_family(self, served):
+        _, server = served
+        with urllib.request.urlopen(server.url("/metrics")) as resp:
+            text = resp.read().decode("utf-8")
+        assert 'service_windows_total{tenant="prod"}' in text
+        assert "service_queue_depth" in text
