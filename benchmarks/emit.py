@@ -502,6 +502,40 @@ def throughput_section(
     return out
 
 
+def run_qa_lint_bench(repeats: int = 3) -> Dict[str, Any]:
+    """Time the repo self-lint: base rules vs base + concurrency suite.
+
+    The concurrency rules build a project-wide call graph, so their cost
+    rides on repository size; publishing both legs (with the repeat
+    noise floor) keeps the CI lint gate's wall time an explicit,
+    diffable number instead of silent drift.
+    """
+    import repro
+    from repro.qa import LintEngine, concurrency_rules, default_rules
+    from repro.qa.framework import Project
+
+    src = os.path.dirname(repro.__file__)
+
+    def _leg(make_rules: Any) -> "list[float]":
+        samples = []
+        for _ in range(max(1, repeats)):
+            project = Project.load([src])
+            t0 = time.perf_counter()
+            result = LintEngine(make_rules()).run(project)
+            samples.append(time.perf_counter() - t0)
+            assert result.ok, "the self-lint must be clean while benching"
+        return samples
+
+    base = _leg(default_rules)
+    full = _leg(lambda: default_rules() + concurrency_rules())
+    return {
+        "qa_lint_base_s": round(_median(base), 6),
+        "qa_lint_concurrency_s": round(_median(full), 6),
+        "noise_floor_pct": round(max(_spread_pct(base), _spread_pct(full)), 3),
+        "repeats": max(1, repeats),
+    }
+
+
 def run_pipeline_bench(
     seed: int = BENCH_SEED, duration: float = BENCH_DURATION, repeats: int = 3
 ) -> Dict[str, Any]:
@@ -554,6 +588,7 @@ def run_pipeline_bench(
         ),
         "obs_overhead": run_obs_overhead_bench(log=log),
         "profiler": run_profiler_overhead_bench(log=log),
+        "qa_lint": run_qa_lint_bench(),
         "telemetry": telemetry,
         "parallel": run_parallel_cache_bench(),
         "python": platform.python_version(),

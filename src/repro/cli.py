@@ -437,7 +437,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for source in sources:
             source.stop()
         service.stop()
-        for tenant in service.tenants.values():
+        for _name, tenant in service.tenant_items():
             row = tenant.summary()
             print(
                 f"tenant {tenant.name}: {row['windows']} windows "
@@ -712,7 +712,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             f"review and commit the change"
         )
         return 0
-    engine = qa.LintEngine(qa.default_rules())
+    rules = qa.default_rules()
+    if args.concurrency:
+        rules = rules + qa.concurrency_rules()
+    engine = qa.LintEngine(rules)
     result = engine.run(project)
     if args.format == "json":
         sys.stdout.write(qa.render_json(result))
@@ -1231,6 +1234,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="regenerate the serialized-schema manifest instead of linting "
         "(run AFTER bumping the owning FORMAT_VERSION)",
+    )
+    lint.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="also run the interprocedural concurrency rules "
+        "(lock-discipline, blocking-under-lock, lock-order, "
+        "unmanaged-thread) over the thread-reachability call graph",
     )
     lint.set_defaults(fn=_cmd_lint)
     return parser

@@ -19,8 +19,18 @@ Layout:
   hygiene).
 * :mod:`repro.qa.schemas` — serialized-schema extraction and the
   ``schemas.json`` manifest keyed by ``FORMAT_VERSION``.
+* :mod:`repro.qa.callgraph` — the interprocedural call graph with
+  thread-entrypoint discovery and main/worker/http reachability
+  coloring that powers the concurrency rules.
+* :mod:`repro.qa.concurrency` — the concurrency rules (lock-discipline,
+  blocking-under-lock, lock-order, unmanaged-thread), run via
+  ``repro lint --concurrency``.
+* :mod:`repro.qa.sanitizer` — the opt-in runtime Eraser-style lockset
+  tracker asserted by the multi-threaded service stress test.
 """
 
+from repro.qa.callgraph import CallGraph
+from repro.qa.concurrency import CONCURRENCY_PACKAGES, concurrency_rules
 from repro.qa.framework import (
     Finding,
     LintEngine,
@@ -32,19 +42,36 @@ from repro.qa.framework import (
     render_text,
 )
 from repro.qa.rules import default_rules
+from repro.qa.sanitizer import (
+    LocksetChecker,
+    RaceReport,
+    TrackedLock,
+    instrument_class,
+    race_checked,
+    wrap_locks,
+)
 from repro.qa.schemas import SchemaDriftRule, extract_schemas, update_manifest
 
 __all__ = [
+    "CONCURRENCY_PACKAGES",
+    "CallGraph",
     "Finding",
     "LintEngine",
     "LintResult",
+    "LocksetChecker",
     "ModuleFile",
     "Project",
+    "RaceReport",
     "Rule",
     "SchemaDriftRule",
+    "TrackedLock",
+    "concurrency_rules",
     "default_rules",
     "extract_schemas",
+    "instrument_class",
+    "race_checked",
     "render_json",
     "render_text",
     "update_manifest",
+    "wrap_locks",
 ]

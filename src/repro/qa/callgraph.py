@@ -1,0 +1,1451 @@
+"""Project-wide call graph with thread-entrypoint discovery and coloring.
+
+The concurrency rules (:mod:`repro.qa.concurrency`) need one fact the
+per-file rules never had: *which thread runs this code*. This module
+builds that fact table in one pass over a :class:`~repro.qa.framework.Project`:
+
+* an interprocedural call graph — class-hierarchy-aware method
+  resolution driven by annotation-based type inference (``self.x``
+  attribute types, parameter/return annotations, container element
+  types, local assignments), so ``self.tenants[name].ingest(batch)``
+  produces a real edge to ``TenantPipeline.ingest``;
+* thread entrypoints — targets of ``threading.Thread(target=...)``,
+  ``do_*`` methods of ``BaseHTTPRequestHandler`` subclasses (including
+  class-body aliases like ``do_POST = _refuse_write``), and methods
+  registered into a ``self.routes[...]`` table;
+* reachability coloring — every function is colored ``main`` /
+  ``worker`` / ``http`` (possibly several) by BFS from the entrypoints;
+  the main-thread BFS stops at ``__init__`` boundaries so code reachable
+  only during object construction is exempted rather than miscolored;
+* concurrency facts — attribute accesses (with the receiver's class
+  resolved through the type inference and the syntactically held
+  locks), lock acquisitions, blocking operations, resolved call sites
+  with held-lock context, and thread-creation sites.
+
+Everything here is *facts*; the judgments (is this access a race, is
+this blocking call a hazard) live in :mod:`repro.qa.concurrency`.
+
+The analysis is deliberately unsound in the usual lint direction: an
+edge or access it cannot resolve is dropped, never guessed, so findings
+stay actionable. The one soundness lever that matters — "code reachable
+from two thread colors" — errs toward *more* colors (CHA overrides, all
+Thread targets) so shared state is not silently missed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.qa.framework import ModuleFile, Project, import_aliases
+
+#: Reachability colors.
+MAIN = "main"
+WORKER = "worker"
+HTTP = "http"
+
+#: Constructors whose product is a synchronization primitive. Attributes
+#: built from these are exempt from lock-discipline (their whole point is
+#: cross-thread use) and classified for blocking/thread analysis.
+LOCK_CTORS = frozenset({"threading.Lock", "threading.RLock"})
+EVENT_CTORS = frozenset({"threading.Event", "threading.Condition"})
+QUEUE_CTORS = frozenset(
+    {
+        "queue.Queue",
+        "queue.SimpleQueue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+    }
+)
+THREAD_CTORS = frozenset({"threading.Thread"})
+SYNC_CTORS = (
+    LOCK_CTORS
+    | EVENT_CTORS
+    | QUEUE_CTORS
+    | THREAD_CTORS
+    | frozenset({"threading.Semaphore", "threading.BoundedSemaphore"})
+)
+
+#: Base-class suffixes marking an HTTP handler class: every ``do_*``
+#: method of a subclass is an HTTP-thread entrypoint.
+HANDLER_BASES = ("BaseHTTPRequestHandler",)
+
+#: Method names treated as in-place mutations of the receiver — a call
+#: ``self.ring.append(x)`` is a *write* to ``ring`` for lock-discipline.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "rotate",
+    }
+)
+
+#: Functions whose body runs during object construction; accesses inside
+#: them happen before the object is published to other threads.
+INIT_NAMES = frozenset({"__init__", "__post_init__", "__new__", "__init_subclass__"})
+
+#: Typing heads treated as homogeneous containers (subscript/iteration
+#: yields the element type).
+_CONTAINER_HEADS = frozenset(
+    {
+        "List",
+        "list",
+        "Deque",
+        "deque",
+        "Set",
+        "set",
+        "FrozenSet",
+        "frozenset",
+        "Sequence",
+        "MutableSequence",
+        "Iterable",
+        "Iterator",
+        "Collection",
+    }
+)
+_MAPPING_HEADS = frozenset(
+    {"Dict", "dict", "Mapping", "MutableMapping", "DefaultDict", "OrderedDict"}
+)
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A resolved static type: a project class, a container, or a tuple.
+
+    ``kind`` is ``"class"`` (``cls`` holds the class qualname, or None
+    for a known-but-unresolved type), ``"container"`` (``items[0]`` is
+    the element type), or ``"tuple"`` (``items`` are the member types).
+    """
+
+    kind: str
+    cls: Optional[str] = None
+    items: Tuple["TypeRef", ...] = ()
+
+    def elem(self) -> Optional["TypeRef"]:
+        """The element type an iteration/subscript yields, if known."""
+        if self.kind == "container" and self.items:
+            return self.items[0]
+        return None
+
+
+UNKNOWN = TypeRef("class", None)
+
+
+@dataclass(frozen=True)
+class Entrypoint:
+    """One place a thread other than main enters project code."""
+
+    qualname: str
+    kind: str  # "worker" | "http"
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One read/write of ``<owner>.<attr>`` inside ``func``.
+
+    ``locks`` are the lock ids *syntactically* held at the site; the
+    rules add interprocedurally inherited locks on top.
+    """
+
+    owner: str
+    attr: str
+    func: str
+    path: str
+    line: int
+    write: bool
+    locks: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved project-internal call, with held-lock context."""
+
+    caller: str
+    callee: str
+    path: str
+    line: int
+    locks: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class BlockingOp:
+    """One potentially blocking operation (sleep, file I/O, queue wait)."""
+
+    func: str
+    path: str
+    line: int
+    what: str
+    locks: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class LockAcquire:
+    """One ``with <lock>:`` entry, with the locks already held."""
+
+    func: str
+    path: str
+    line: int
+    lock: str
+    held: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class ThreadCreate:
+    """One ``threading.Thread(...)`` construction site.
+
+    ``bound`` records where the thread object lands: ``("attr", name)``
+    for ``self.name = Thread(...)``, ``("local", name)`` for a local
+    variable, None when the object is not kept.
+    """
+
+    func: str
+    cls: Optional[str]
+    path: str
+    line: int
+    bound: Optional[Tuple[str, str]]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str
+    module: str
+    cls: Optional[str]
+    name: str
+    node: ast.AST
+    path: str
+    line: int
+    decorators: Tuple[str, ...] = ()
+    local_joins: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    """One class: hierarchy, methods, and inferred attribute facts."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    line: int
+    bases_raw: List[str] = field(default_factory=list)
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, str] = field(default_factory=dict)
+    properties: Set[str] = field(default_factory=set)
+    attr_types: Dict[str, TypeRef] = field(default_factory=dict)
+    attr_ctors: Dict[str, str] = field(default_factory=dict)
+    attr_assigned: Set[str] = field(default_factory=set)
+    guarded_by: Dict[str, str] = field(default_factory=dict)
+    join_attrs: Set[str] = field(default_factory=set)
+    event_set_attrs: Set[str] = field(default_factory=set)
+
+
+class CallGraph:
+    """The assembled fact table; build one with :meth:`build`."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.edges: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        self.entrypoints: List[Entrypoint] = []
+        self.accesses: List[AttrAccess] = []
+        self.calls: List[CallSite] = []
+        self.blocking: List[BlockingOp] = []
+        self.acquires: List[LockAcquire] = []
+        self.thread_creates: List[ThreadCreate] = []
+        #: Filled by :meth:`_color`.
+        self.worker_set: Set[str] = set()
+        self.http_set: Set[str] = set()
+        self.main_set: Set[str] = set()
+        self.construction: Set[str] = set()
+        self._reach_cache: Dict[str, FrozenSet[str]] = {}
+
+    # -- public queries --------------------------------------------------
+
+    def color(self, qualname: str) -> FrozenSet[str]:
+        """The thread colors of one function (empty = construction-only)."""
+        out: Set[str] = set()
+        if qualname in self.worker_set:
+            out.add(WORKER)
+        if qualname in self.http_set:
+            out.add(HTTP)
+        if qualname in self.main_set:
+            out.add(MAIN)
+        return frozenset(out)
+
+    def is_exempt(self, qualname: str) -> bool:
+        """Construction-phase code: ``__init__`` family, or reachable
+        only through a constructor — accesses there happen before the
+        object escapes to other threads."""
+        info = self.functions.get(qualname)
+        if info is not None and info.name in INIT_NAMES:
+            return True
+        return qualname in self.construction and not self.color(qualname)
+
+    def reachable(self, qualname: str) -> FrozenSet[str]:
+        """Every function transitively callable from ``qualname``."""
+        cached = self._reach_cache.get(qualname)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        stack = [qualname]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.edges.get(cur, ()))
+        out = frozenset(seen)
+        self._reach_cache[qualname] = out
+        return out
+
+    def mro(self, qualname: str) -> List[ClassInfo]:
+        """The class plus its transitive project bases, nearest first."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        stack = [qualname]
+        while stack:
+            cur = stack.pop(0)
+            if cur in seen:
+                continue
+            seen.add(cur)
+            info = self.classes.get(cur)
+            if info is None:
+                continue
+            out.append(info)
+            stack.extend(info.bases)
+        return out
+
+    def attr_owner(self, cls: str, attr: str) -> str:
+        """The class in ``cls``'s hierarchy that declares ``attr``."""
+        for info in self.mro(cls):
+            if (
+                attr in info.attr_types
+                or attr in info.attr_ctors
+                or attr in info.attr_assigned
+            ):
+                return info.qualname
+        return cls
+
+    def attr_type(self, cls: str, attr: str) -> Optional[TypeRef]:
+        for info in self.mro(cls):
+            ref = info.attr_types.get(attr)
+            if ref is not None:
+                return ref
+        return None
+
+    def attr_ctor(self, cls: str, attr: str) -> Optional[str]:
+        for info in self.mro(cls):
+            ctor = info.attr_ctors.get(attr)
+            if ctor is not None:
+                return ctor
+        return None
+
+    def guarded_reason(self, cls: str, attr: str) -> Optional[str]:
+        """The ``_GUARDED_BY`` justification for ``attr``, if declared."""
+        for info in self.mro(cls):
+            reason = info.guarded_by.get(attr)
+            if reason is not None:
+                return reason
+        return None
+
+    def resolve_method(self, cls: str, name: str) -> Optional[str]:
+        for info in self.mro(cls):
+            qual = info.methods.get(name)
+            if qual is not None:
+                return qual
+        return None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        return _Builder(project).build()
+
+
+class _Builder:
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.graph = CallGraph()
+        self._aliases: Dict[str, Dict[str, str]] = {}
+        self._module_classes: Dict[str, Dict[str, str]] = {}
+        self._module_funcs: Dict[str, Dict[str, str]] = {}
+        self._subclasses: Dict[str, Set[str]] = {}
+        self._returns_cache: Dict[str, Optional[TypeRef]] = {}
+        self._module_roots: Set[str] = set()
+
+    # -- pass 1: index ---------------------------------------------------
+
+    def build(self) -> CallGraph:
+        modules = [m for m in self.project.modules if m.tree is not None]
+        for module in modules:
+            self._index_module(module)
+        for module in modules:
+            self._resolve_bases(module)
+        self._compute_subclasses()
+        for module in modules:
+            self._collect_attrs(module)
+        for module in modules:
+            self._scan_module(module)
+        self._handler_entrypoints()
+        self._color()
+        return self.graph
+
+    def _index_module(self, module: ModuleFile) -> None:
+        tree = module.tree
+        assert tree is not None
+        self._aliases[module.module] = import_aliases(tree)
+        classes: Dict[str, str] = {}
+        funcs: Dict[str, str] = {}
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                qual = f"{module.module}.{node.name}"
+                info = ClassInfo(
+                    qualname=qual,
+                    module=module.module,
+                    name=node.name,
+                    node=node,
+                    path=module.path,
+                    line=node.lineno,
+                )
+                classes[node.name] = qual
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fq = f"{qual}.{item.name}"
+                        decos = tuple(
+                            d.id
+                            for d in item.decorator_list
+                            if isinstance(d, ast.Name)
+                        )
+                        info.methods[item.name] = fq
+                        if "property" in decos or "cached_property" in decos:
+                            info.properties.add(item.name)
+                        self.graph.functions[fq] = FunctionInfo(
+                            qualname=fq,
+                            module=module.module,
+                            cls=qual,
+                            name=item.name,
+                            node=item,
+                            path=module.path,
+                            line=item.lineno,
+                            decorators=decos,
+                        )
+                    elif isinstance(item, ast.Assign):
+                        # ``do_POST = _refuse_write`` — a method alias.
+                        if isinstance(item.value, ast.Name):
+                            target_fn = item.value.id
+                            for tgt in item.targets:
+                                if isinstance(tgt, ast.Name):
+                                    info.methods.setdefault(
+                                        tgt.id, f"{qual}.{target_fn}"
+                                    )
+                self.graph.classes[qual] = info
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fq = f"{module.module}.{node.name}"
+                funcs[node.name] = fq
+                self.graph.functions[fq] = FunctionInfo(
+                    qualname=fq,
+                    module=module.module,
+                    cls=None,
+                    name=node.name,
+                    node=node,
+                    path=module.path,
+                    line=node.lineno,
+                    decorators=tuple(
+                        d.id for d in node.decorator_list if isinstance(d, ast.Name)
+                    ),
+                )
+        self._module_classes[module.module] = classes
+        self._module_funcs[module.module] = funcs
+
+    # -- pass 2: hierarchy -----------------------------------------------
+
+    def _resolve_dotted(self, module: str, name: str) -> Optional[str]:
+        """A bare or dotted name to a project class qualname, or None."""
+        local = self._module_classes.get(module, {}).get(name)
+        if local is not None:
+            return local
+        aliases = self._aliases.get(module, {})
+        head, _, rest = name.partition(".")
+        dotted = aliases.get(head, head) + ("." + rest if rest else "")
+        if dotted in self.graph.classes:
+            return dotted
+        return None
+
+    def _resolve_bases(self, module: ModuleFile) -> None:
+        for info in self.graph.classes.values():
+            if info.module != module.module:
+                continue
+            for base in info.node.bases:
+                raw = _dotted_expr(base)
+                if raw is None:
+                    continue
+                info.bases_raw.append(raw)
+                resolved = self._resolve_dotted(info.module, raw)
+                if resolved is not None:
+                    info.bases.append(resolved)
+
+    def _compute_subclasses(self) -> None:
+        direct: Dict[str, Set[str]] = {}
+        for info in self.graph.classes.values():
+            for base in info.bases:
+                direct.setdefault(base, set()).add(info.qualname)
+        for qual in self.graph.classes:
+            seen: Set[str] = set()
+            stack = list(direct.get(qual, ()))
+            while stack:
+                cur = stack.pop()
+                if cur in seen:
+                    continue
+                seen.add(cur)
+                stack.extend(direct.get(cur, ()))
+            self._subclasses[qual] = seen
+
+    def _is_handler_class(self, info: ClassInfo) -> bool:
+        seen: Set[str] = set()
+        stack = [info.qualname]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            cur_info = self.graph.classes.get(cur)
+            if cur_info is None:
+                continue
+            for raw in cur_info.bases_raw:
+                tail = raw.rsplit(".", 1)[-1]
+                if tail in HANDLER_BASES:
+                    return True
+            stack.extend(cur_info.bases)
+        return False
+
+    # -- pass 3: attribute facts ----------------------------------------
+
+    def _parse_annotation(self, node: ast.expr, module: str) -> Optional[TypeRef]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                inner = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+            return self._parse_annotation(inner, module)
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            raw = _dotted_expr(node)
+            if raw is None:
+                return None
+            resolved = self._resolve_dotted(module, raw)
+            if resolved is not None:
+                return TypeRef("class", resolved)
+            return None
+        if isinstance(node, ast.Subscript):
+            head = _dotted_expr(node.value)
+            if head is None:
+                return None
+            head = head.rsplit(".", 1)[-1]
+            slc: ast.expr = node.slice
+            if head in ("Optional",):
+                return self._parse_annotation(slc, module)
+            if head in ("Union",):
+                if isinstance(slc, ast.Tuple):
+                    for elt in slc.elts:
+                        parsed = self._parse_annotation(elt, module)
+                        if parsed is not None:
+                            return parsed
+                return self._parse_annotation(slc, module)
+            if head in _MAPPING_HEADS:
+                if isinstance(slc, ast.Tuple) and len(slc.elts) == 2:
+                    value = self._parse_annotation(slc.elts[1], module)
+                    return TypeRef("container", None, (value or UNKNOWN,))
+                return None
+            if head in _CONTAINER_HEADS:
+                elt_node = slc.elts[0] if isinstance(slc, ast.Tuple) else slc
+                elem = self._parse_annotation(elt_node, module)
+                return TypeRef("container", None, (elem or UNKNOWN,))
+            if head in ("Tuple", "tuple"):
+                if isinstance(slc, ast.Tuple):
+                    items = tuple(
+                        self._parse_annotation(e, module) or UNKNOWN
+                        for e in slc.elts
+                        if not (isinstance(e, ast.Constant) and e.value is Ellipsis)
+                    )
+                    return TypeRef("tuple", None, items)
+                elem = self._parse_annotation(slc, module)
+                return TypeRef("container", None, (elem or UNKNOWN,))
+            return None
+        return None
+
+    def _returns(self, qualname: str) -> Optional[TypeRef]:
+        if qualname in self._returns_cache:
+            return self._returns_cache[qualname]
+        info = self.graph.functions.get(qualname)
+        out: Optional[TypeRef] = None
+        if info is not None:
+            node = info.node
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.returns is not None
+            ):
+                out = self._parse_annotation(node.returns, info.module)
+        self._returns_cache[qualname] = out
+        return out
+
+    def _param_types(self, info: FunctionInfo) -> Dict[str, TypeRef]:
+        node = info.node
+        env: Dict[str, TypeRef] = {}
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return env
+        args = list(node.args.posonlyargs) + list(node.args.args) + list(
+            node.args.kwonlyargs
+        )
+        for arg in args:
+            if arg.annotation is not None:
+                parsed = self._parse_annotation(arg.annotation, info.module)
+                if parsed is not None:
+                    env[arg.arg] = parsed
+        if info.cls is not None and args and args[0].arg == "self":
+            env["self"] = TypeRef("class", info.cls)
+        return env
+
+    def _collect_attrs(self, module: ModuleFile) -> None:
+        for info in self.graph.classes.values():
+            if info.module != module.module:
+                continue
+            self._collect_class_attrs(info)
+
+    def _collect_class_attrs(self, info: ClassInfo) -> None:
+        module = info.module
+        for item in info.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                parsed = self._parse_annotation(item.annotation, module)
+                if parsed is not None:
+                    info.attr_types[item.target.id] = parsed
+                info.attr_assigned.add(item.target.id)
+            elif isinstance(item, ast.Assign):
+                for tgt in item.targets:
+                    if isinstance(tgt, ast.Name) and tgt.id == "_GUARDED_BY":
+                        info.guarded_by.update(_parse_guarded_by(item.value))
+
+        # ``__init__`` first so later methods see the attrs it declares.
+        method_names = sorted(
+            info.methods, key=lambda n: (n not in INIT_NAMES, n)
+        )
+        for name in method_names:
+            fn = self.graph.functions.get(info.methods[name])
+            if fn is None or fn.cls != info.qualname:
+                continue
+            params = self._param_types(fn)
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.AnnAssign):
+                    tgt = node.target
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        info.attr_assigned.add(tgt.attr)
+                        parsed = self._parse_annotation(node.annotation, module)
+                        if parsed is not None:
+                            info.attr_types.setdefault(tgt.attr, parsed)
+                elif isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        if (
+                            isinstance(tgt, ast.Attribute)
+                            and isinstance(tgt.value, ast.Name)
+                            and tgt.value.id == "self"
+                        ):
+                            info.attr_assigned.add(tgt.attr)
+                            self._infer_attr_value(
+                                info, tgt.attr, node.value, params
+                            )
+                elif isinstance(node, ast.AugAssign):
+                    tgt = node.target
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        info.attr_assigned.add(tgt.attr)
+
+    def _infer_attr_value(
+        self,
+        info: ClassInfo,
+        attr: str,
+        value: ast.expr,
+        params: Dict[str, TypeRef],
+    ) -> None:
+        if isinstance(value, ast.IfExp):
+            self._infer_attr_value(info, attr, value.body, params)
+            if attr not in info.attr_types and attr not in info.attr_ctors:
+                self._infer_attr_value(info, attr, value.orelse, params)
+            return
+        if isinstance(value, ast.Name):
+            ref = params.get(value.id)
+            if ref is not None:
+                info.attr_types.setdefault(attr, ref)
+            return
+        if isinstance(value, ast.Call):
+            raw = _dotted_expr(value.func)
+            if raw is not None:
+                aliases = self._aliases.get(info.module, {})
+                head, _, rest = raw.partition(".")
+                dotted = aliases.get(head, head) + ("." + rest if rest else "")
+                info.attr_ctors.setdefault(attr, dotted)
+                resolved = self._resolve_dotted(info.module, raw)
+                if resolved is not None:
+                    info.attr_types.setdefault(attr, TypeRef("class", resolved))
+                    return
+            # ``self.metrics.gauge(...)`` — type via the method's return
+            # annotation when the receiver chain resolves.
+            if isinstance(value.func, ast.Attribute):
+                recv = self._cheap_chain_type(info, value.func.value, params)
+                if recv is not None and recv.kind == "class" and recv.cls:
+                    target = self.graph.resolve_method(recv.cls, value.func.attr)
+                    if target is not None:
+                        ret = self._returns(target)
+                        if ret is not None:
+                            info.attr_types.setdefault(attr, ret)
+
+    def _cheap_chain_type(
+        self, info: ClassInfo, node: ast.expr, params: Dict[str, TypeRef]
+    ) -> Optional[TypeRef]:
+        """``self`` / ``self.x`` / param chains during attr collection."""
+        if isinstance(node, ast.Name):
+            return params.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._cheap_chain_type(info, node.value, params)
+            if base is not None and base.kind == "class" and base.cls:
+                return self.graph.attr_type(base.cls, node.attr)
+        return None
+
+    # -- pass 4: function scan -------------------------------------------
+
+    def _scan_module(self, module: ModuleFile) -> None:
+        for fn in list(self.graph.functions.values()):
+            if fn.module == module.module:
+                _FnScanner(self, fn).scan()
+        self._module_level_roots(module)
+
+    def _module_level_roots(self, module: ModuleFile) -> None:
+        tree = module.tree
+        assert tree is not None
+        funcs = self._module_funcs.get(module.module, {})
+        for node in tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for call in ast.walk(node):
+                if isinstance(call, ast.Call) and isinstance(call.func, ast.Name):
+                    qual = funcs.get(call.func.id)
+                    if qual is not None:
+                        self._module_roots.add(qual)
+
+    def _handler_entrypoints(self) -> None:
+        for info in self.graph.classes.values():
+            if not self._is_handler_class(info):
+                continue
+            for name, qual in info.methods.items():
+                if name.startswith("do_") and qual in self.graph.functions:
+                    fn = self.graph.functions[qual]
+                    self.graph.entrypoints.append(
+                        Entrypoint(qual, "http", fn.path, fn.line)
+                    )
+
+    # -- pass 5: coloring ------------------------------------------------
+
+    def _closure(self, roots: Sequence[str], barrier: bool) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.graph.functions]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            info = self.graph.functions[cur]
+            if barrier and info.name in INIT_NAMES:
+                continue
+            stack.extend(
+                t for t in self.graph.edges.get(cur, ()) if t in self.graph.functions
+            )
+        return seen
+
+    def _color(self) -> None:
+        graph = self.graph
+        for caller, callees in graph.edges.items():
+            for callee in callees:
+                graph.callers.setdefault(callee, set()).add(caller)
+        worker_roots = [e.qualname for e in graph.entrypoints if e.kind == "worker"]
+        http_roots = [e.qualname for e in graph.entrypoints if e.kind == "http"]
+        graph.worker_set = self._closure(worker_roots, barrier=False)
+        graph.http_set = self._closure(http_roots, barrier=False)
+        entry_names = set(worker_roots) | set(http_roots)
+        main_roots = set(self._module_roots)
+        for qual in graph.functions:
+            if qual in entry_names:
+                continue
+            if not graph.callers.get(qual):
+                main_roots.add(qual)
+        graph.main_set = self._closure(sorted(main_roots), barrier=True)
+        init_fns = [
+            q for q, f in graph.functions.items() if f.name in INIT_NAMES
+        ]
+        graph.construction = self._closure(init_fns, barrier=False)
+
+
+class _FnScanner:
+    """One function's body: edges, accesses, locks, blocking, threads."""
+
+    def __init__(self, builder: _Builder, fn: FunctionInfo) -> None:
+        self.b = builder
+        self.g = builder.graph
+        self.fn = fn
+        self.env: Dict[str, TypeRef] = builder._param_types(fn)
+        self.held: List[str] = []
+        self.local_threads: Set[str] = set()
+
+    def scan(self) -> None:
+        node = self.fn.node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._visit_body(node.body)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _locks(self) -> FrozenSet[str]:
+        return frozenset(self.held)
+
+    def _type_of(self, node: ast.expr) -> Optional[TypeRef]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._type_of(node.value)
+            if base is not None and base.kind == "class" and base.cls:
+                ref = self.g.attr_type(base.cls, node.attr)
+                if ref is not None:
+                    return ref
+                method = self.g.resolve_method(base.cls, node.attr)
+                if method is not None:
+                    owner = self.g.functions.get(method)
+                    cls_info = (
+                        self.g.classes.get(owner.cls)
+                        if owner is not None and owner.cls
+                        else None
+                    )
+                    if cls_info is not None and node.attr in cls_info.properties:
+                        return self.b._returns(method)
+            return None
+        if isinstance(node, ast.Subscript):
+            base = self._type_of(node.value)
+            if base is not None:
+                return base.elem()
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_type(node)
+        if isinstance(node, ast.IfExp):
+            return self._type_of(node.body) or self._type_of(node.orelse)
+        if isinstance(node, ast.Await):
+            return self._type_of(node.value)
+        return None
+
+    def _call_type(self, node: ast.Call) -> Optional[TypeRef]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ("list", "sorted", "iter", "reversed", "tuple"):
+                if node.args:
+                    return self._type_of(node.args[0])
+                return None
+            if func.id == "next" and node.args:
+                inner = self._type_of(node.args[0])
+                return inner.elem() if inner is not None else None
+            if func.id == "dict" and node.args:
+                inner = self._type_of(node.args[0])
+                elem = inner.elem() if inner is not None else None
+                if elem is not None and elem.kind == "tuple" and len(elem.items) == 2:
+                    return TypeRef("container", None, (elem.items[1],))
+                return None
+            resolved = self.b._resolve_dotted(self.fn.module, func.id)
+            if resolved is not None:
+                return TypeRef("class", resolved)
+            local = self.b._module_funcs.get(self.fn.module, {}).get(func.id)
+            if local is not None:
+                return self.b._returns(local)
+            return None
+        if isinstance(func, ast.Attribute):
+            recv = self._type_of(func.value)
+            if recv is not None and recv.kind == "container":
+                if func.attr in ("values", "copy"):
+                    return recv
+                if func.attr == "get":
+                    return recv.elem()
+                if func.attr == "items":
+                    elem = recv.elem() or UNKNOWN
+                    return TypeRef(
+                        "container", None, (TypeRef("tuple", None, (UNKNOWN, elem)),)
+                    )
+                return None
+            if recv is not None and recv.kind == "class" and recv.cls:
+                method = self.g.resolve_method(recv.cls, func.attr)
+                if method is not None:
+                    return self.b._returns(method)
+                return None
+            raw = _dotted_expr(func)
+            if raw is not None:
+                resolved = self.b._resolve_dotted(self.fn.module, raw)
+                if resolved is not None:
+                    return TypeRef("class", resolved)
+        return None
+
+    def _bind(self, target: ast.expr, ref: Optional[TypeRef]) -> None:
+        if isinstance(target, ast.Name):
+            if ref is not None:
+                self.env[target.id] = ref
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            items: Sequence[Optional[TypeRef]]
+            if ref is not None and ref.kind == "tuple" and len(ref.items) == len(
+                target.elts
+            ):
+                items = list(ref.items)
+            else:
+                items = [None] * len(target.elts)
+            for elt, item in zip(target.elts, items):
+                self._bind(elt, item)
+
+    def _record_access(
+        self, node: ast.Attribute, write: bool
+    ) -> Optional[AttrAccess]:
+        base = self._type_of(node.value)
+        if base is None or base.kind != "class" or not base.cls:
+            return None
+        cls = base.cls
+        attr = node.attr
+        if self.g.resolve_method(cls, attr) is not None:
+            # A method reference, not data: record the edge instead.
+            self._add_edges([m for m in self._method_targets(cls, attr)])
+            return None
+        ctor = self.g.attr_ctor(cls, attr)
+        if ctor in SYNC_CTORS:
+            return None
+        owner = self.g.attr_owner(cls, attr)
+        access = AttrAccess(
+            owner=owner,
+            attr=attr,
+            func=self.fn.qualname,
+            path=self.fn.path,
+            line=node.lineno,
+            write=write,
+            locks=self._locks(),
+        )
+        self.g.accesses.append(access)
+        return access
+
+    def _method_targets(self, cls: str, name: str) -> List[str]:
+        out: List[str] = []
+        base = self.g.resolve_method(cls, name)
+        if base is not None:
+            out.append(base)
+        for sub in self.b._subclasses.get(cls, ()):
+            info = self.g.classes.get(sub)
+            if info is not None and name in info.methods:
+                out.append(info.methods[name])
+        return [q for q in out if q in self.g.functions]
+
+    def _add_edges(self, targets: Sequence[str], line: int = 0) -> None:
+        for target in targets:
+            self.g.edges.setdefault(self.fn.qualname, set()).add(target)
+
+    def _record_call(self, targets: Sequence[str], line: int) -> None:
+        locks = self._locks()
+        for target in targets:
+            self.g.edges.setdefault(self.fn.qualname, set()).add(target)
+            self.g.calls.append(
+                CallSite(
+                    caller=self.fn.qualname,
+                    callee=target,
+                    path=self.fn.path,
+                    line=line,
+                    locks=locks,
+                )
+            )
+
+    def _lock_id(self, node: ast.expr) -> Optional[str]:
+        """``with self._lock:`` (or a typed chain) → the lock's id."""
+        if not isinstance(node, ast.Attribute):
+            return None
+        base = self._type_of(node.value)
+        if base is None or base.kind != "class" or not base.cls:
+            return None
+        if self.g.attr_ctor(base.cls, node.attr) in LOCK_CTORS:
+            return f"{self.g.attr_owner(base.cls, node.attr)}.{node.attr}"
+        return None
+
+    # -- recursive visit -------------------------------------------------
+
+    def _visit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+        elif isinstance(node, ast.Assign):
+            self._visit_assign(node)
+        elif isinstance(node, ast.AnnAssign):
+            self._visit_annassign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._visit_augassign(node)
+        elif isinstance(node, ast.Delete):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Subscript) and isinstance(
+                    tgt.value, ast.Attribute
+                ):
+                    self._record_access(tgt.value, write=True)
+                    self._visit_expr(tgt.value.value)
+                elif isinstance(tgt, ast.Attribute):
+                    self._record_access(tgt, write=True)
+                else:
+                    self._visit_expr(tgt)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._visit_expr(node.iter)
+            ref = self._type_of(node.iter)
+            self._bind(node.target, ref.elem() if ref is not None else None)
+            self._visit_body(node.body)
+            self._visit_body(node.orelse)
+        elif isinstance(node, ast.Call):
+            self._visit_call(node)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self._visit_comprehensions(node.generators)
+            self._visit(node.elt)
+        elif isinstance(node, ast.DictComp):
+            self._visit_comprehensions(node.generators)
+            self._visit(node.key)
+            self._visit(node.value)
+        elif isinstance(node, ast.Attribute):
+            if isinstance(node.ctx, ast.Load):
+                self._record_access(node, write=False)
+            self._visit_expr(node.value)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: scan its body in the same env (approximate).
+            self._visit_body(node.body)
+        elif isinstance(node, ast.Lambda):
+            self._visit(node.body)
+        else:
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+
+    def _visit_expr(self, node: ast.expr) -> None:
+        self._visit(node)
+
+    def _visit_comprehensions(
+        self, generators: Sequence[ast.comprehension]
+    ) -> None:
+        for gen in generators:
+            self._visit_expr(gen.iter)
+            ref = self._type_of(gen.iter)
+            self._bind(gen.target, ref.elem() if ref is not None else None)
+            for cond in gen.ifs:
+                self._visit_expr(cond)
+
+    def _visit_with(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            lock = self._lock_id(item.context_expr)
+            if lock is not None:
+                self.g.acquires.append(
+                    LockAcquire(
+                        func=self.fn.qualname,
+                        path=self.fn.path,
+                        line=item.context_expr.lineno,
+                        lock=lock,
+                        held=self._locks(),
+                    )
+                )
+                self.held.append(lock)
+                acquired.append(lock)
+            else:
+                self._visit_expr(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind(item.optional_vars, None)
+        self._visit_body(node.body)
+        for _ in acquired:
+            self.held.pop()
+
+    def _visit_assign(self, node: ast.Assign) -> None:
+        # Record a bound thread creation before visiting the value, so
+        # the call visitor can tell bound from discarded constructions.
+        thread_bound = self._maybe_thread_create(node.value, node.targets)
+        self._visit_expr(node.value)
+        ref = self._type_of(node.value)
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Attribute):
+                self._record_access(tgt, write=True)
+                self._visit_expr(tgt.value)
+            elif isinstance(tgt, ast.Subscript):
+                if isinstance(tgt.value, ast.Attribute):
+                    self._maybe_route_registration(tgt, node.value)
+                    self._record_access(tgt.value, write=True)
+                    self._visit_expr(tgt.value.value)
+                else:
+                    self._visit_expr(tgt.value)
+                self._visit_expr(tgt.slice)
+            else:
+                self._bind(tgt, ref)
+                if thread_bound and isinstance(tgt, ast.Name):
+                    self.local_threads.add(tgt.id)
+
+    def _visit_annassign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._maybe_thread_create(node.value, [node.target])
+            self._visit_expr(node.value)
+        tgt = node.target
+        if isinstance(tgt, ast.Attribute):
+            self._record_access(tgt, write=True)
+            self._visit_expr(tgt.value)
+        elif isinstance(tgt, ast.Name):
+            ref = self.b._parse_annotation(node.annotation, self.fn.module)
+            if ref is None and node.value is not None:
+                ref = self._type_of(node.value)
+            self._bind(tgt, ref)
+
+    def _visit_augassign(self, node: ast.AugAssign) -> None:
+        self._visit_expr(node.value)
+        tgt = node.target
+        if isinstance(tgt, ast.Attribute):
+            self._record_access(tgt, write=True)
+            self._visit_expr(tgt.value)
+        elif isinstance(tgt, ast.Subscript):
+            if isinstance(tgt.value, ast.Attribute):
+                self._record_access(tgt.value, write=True)
+                self._visit_expr(tgt.value.value)
+            self._visit_expr(tgt.slice)
+
+    def _maybe_route_registration(
+        self, target: ast.Subscript, value: ast.expr
+    ) -> None:
+        """``self.routes[...] = self._route_x`` marks an HTTP entrypoint."""
+        tval = target.value
+        if not (isinstance(tval, ast.Attribute) and tval.attr == "routes"):
+            return
+        if not (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and self.fn.cls is not None
+        ):
+            return
+        method = self.g.resolve_method(self.fn.cls, value.attr)
+        if method is not None:
+            fn = self.g.functions[method]
+            self.g.entrypoints.append(
+                Entrypoint(method, "http", fn.path, value.lineno)
+            )
+            self._add_edges([method])
+
+    def _maybe_thread_create(
+        self, value: ast.expr, targets: Sequence[ast.expr]
+    ) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        dotted = self._dotted(value.func)
+        if dotted not in THREAD_CTORS:
+            return False
+        bound: Optional[Tuple[str, str]] = None
+        for tgt in targets:
+            if (
+                isinstance(tgt, ast.Attribute)
+                and isinstance(tgt.value, ast.Name)
+                and tgt.value.id == "self"
+            ):
+                bound = ("attr", tgt.attr)
+            elif isinstance(tgt, ast.Name):
+                bound = ("local", tgt.id)
+        self.g.thread_creates.append(
+            ThreadCreate(
+                func=self.fn.qualname,
+                cls=self.fn.cls,
+                path=self.fn.path,
+                line=value.lineno,
+                bound=bound,
+            )
+        )
+        return bound is not None and bound[0] == "local"
+
+    def _dotted(self, func: ast.expr) -> Optional[str]:
+        raw = _dotted_expr(func)
+        if raw is None:
+            return None
+        aliases = self.b._aliases.get(self.fn.module, {})
+        head, _, rest = raw.partition(".")
+        return aliases.get(head, head) + ("." + rest if rest else "")
+
+    # -- calls -----------------------------------------------------------
+
+    def _visit_call(self, node: ast.Call) -> None:
+        func = node.func
+        dotted = self._dotted(func)
+
+        if dotted in THREAD_CTORS:
+            self._thread_target_entry(node)
+            # An unbound ``threading.Thread(...)`` expression statement —
+            # record it so unmanaged-thread sees it (Assign paths record
+            # through _maybe_thread_create instead).
+            if not self._is_assigned_thread(node):
+                self.g.thread_creates.append(
+                    ThreadCreate(
+                        func=self.fn.qualname,
+                        cls=self.fn.cls,
+                        path=self.fn.path,
+                        line=node.lineno,
+                        bound=None,
+                    )
+                )
+            for kw in node.keywords:
+                if kw.arg != "target":
+                    self._visit_expr(kw.value)
+            for arg in node.args:
+                self._visit_expr(arg)
+            return
+
+        targets = self._resolve_call(node)
+        if targets:
+            self._record_call(targets, node.lineno)
+        self._maybe_blocking(node, dotted)
+
+        if isinstance(func, ast.Attribute):
+            self._maybe_mutator(func)
+            self._maybe_join_or_set(func)
+            self._visit_expr(func.value)
+        for arg in node.args:
+            self._visit_expr(arg)
+        for kw in node.keywords:
+            self._visit_expr(kw.value)
+
+    def _is_assigned_thread(self, node: ast.Call) -> bool:
+        # _visit_assign handles bound creations before visiting the value;
+        # it marks them by appending to thread_creates already. Detect by
+        # checking the last recorded creation for this line.
+        for create in reversed(self.g.thread_creates):
+            if (
+                create.func == self.fn.qualname
+                and create.line == node.lineno
+                and create.bound is not None
+            ):
+                return True
+        return False
+
+    def _thread_target_entry(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg != "target":
+                continue
+            target = kw.value
+            quals: List[str] = []
+            if isinstance(target, ast.Attribute):
+                base = self._type_of(target.value)
+                if base is not None and base.kind == "class" and base.cls:
+                    quals = self._method_targets(base.cls, target.attr)
+            elif isinstance(target, ast.Name):
+                local = self.b._module_funcs.get(self.fn.module, {}).get(target.id)
+                if local is not None:
+                    quals = [local]
+            # No call edge: ``Thread(target=X)`` runs X on the *new*
+            # thread, so the spawner's color must not leak into it — the
+            # entrypoint record is what seeds the worker BFS instead.
+            for qual in quals:
+                fn = self.g.functions[qual]
+                self.g.entrypoints.append(
+                    Entrypoint(qual, "worker", fn.path, node.lineno)
+                )
+
+    def _resolve_call(self, node: ast.Call) -> List[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            local = self.b._module_funcs.get(self.fn.module, {}).get(func.id)
+            if local is not None:
+                return [local]
+            resolved = self.b._resolve_dotted(self.fn.module, func.id)
+            if resolved is not None:
+                init = self.g.resolve_method(resolved, "__init__")
+                return [init] if init is not None else []
+            aliases = self.b._aliases.get(self.fn.module, {})
+            dotted = aliases.get(func.id)
+            if dotted is not None and dotted in self.g.functions:
+                return [dotted]
+            return []
+        if not isinstance(func, ast.Attribute):
+            return []
+        # ``super().m()``
+        if (
+            isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+            and self.fn.cls is not None
+        ):
+            info = self.g.classes.get(self.fn.cls)
+            if info is not None:
+                for base in info.bases:
+                    method = self.g.resolve_method(base, func.attr)
+                    if method is not None:
+                        return [method]
+            return []
+        recv = self._type_of(func.value)
+        if recv is not None and recv.kind == "class" and recv.cls:
+            return self._method_targets(recv.cls, func.attr)
+        # ``ClassName.method`` / ``module.Class.method`` references.
+        raw = _dotted_expr(func)
+        if raw is not None and "." in raw:
+            prefix, method_name = raw.rsplit(".", 1)
+            resolved = self.b._resolve_dotted(self.fn.module, prefix)
+            if resolved is not None:
+                method = self.g.resolve_method(resolved, method_name)
+                if method is not None:
+                    return [method]
+            dotted = self._dotted(func)
+            if dotted is not None and dotted in self.g.functions:
+                return [dotted]
+        return []
+
+    def _maybe_blocking(self, node: ast.Call, dotted: Optional[str]) -> None:
+        what: Optional[str] = None
+        if dotted in ("time.sleep",):
+            what = "time.sleep()"
+        elif dotted in ("open", "io.open"):
+            what = "open()"
+        elif isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            recv = node.func.value
+            if isinstance(recv, ast.Attribute):
+                base = self._type_of(recv.value)
+                if base is not None and base.kind == "class" and base.cls:
+                    ctor = self.g.attr_ctor(base.cls, recv.attr)
+                    if ctor in QUEUE_CTORS and attr in ("get", "put", "join"):
+                        if not _nonblocking_call(node):
+                            what = f"queue .{attr}() on self.{recv.attr}"
+                    elif ctor in THREAD_CTORS and attr == "join":
+                        what = f"thread .join() on self.{recv.attr}"
+                    elif ctor in EVENT_CTORS and attr == "wait":
+                        what = f"event .wait() on self.{recv.attr}"
+        if what is not None:
+            self.g.blocking.append(
+                BlockingOp(
+                    func=self.fn.qualname,
+                    path=self.fn.path,
+                    line=node.lineno,
+                    what=what,
+                    locks=self._locks(),
+                )
+            )
+
+    def _maybe_mutator(self, func: ast.Attribute) -> None:
+        if func.attr not in MUTATOR_METHODS:
+            return
+        if not isinstance(func.value, ast.Attribute):
+            return
+        base = self._type_of(func.value.value)
+        if base is None or base.kind != "class" or not base.cls:
+            return
+        cls = base.cls
+        attr = func.value.attr
+        if self.g.resolve_method(cls, attr) is not None:
+            return
+        if self.g.attr_ctor(cls, attr) in SYNC_CTORS:
+            return
+        self.g.accesses.append(
+            AttrAccess(
+                owner=self.g.attr_owner(cls, attr),
+                attr=attr,
+                func=self.fn.qualname,
+                path=self.fn.path,
+                line=func.lineno,
+                write=True,
+                locks=self._locks(),
+            )
+        )
+
+    def _maybe_join_or_set(self, func: ast.Attribute) -> None:
+        attr = func.attr
+        recv = func.value
+        if isinstance(recv, ast.Name) and attr == "join":
+            if recv.id in self.local_threads:
+                self.fn.local_joins.add(recv.id)
+            return
+        if not isinstance(recv, ast.Attribute):
+            return
+        base = self._type_of(recv.value)
+        if base is None or base.kind != "class" or not base.cls:
+            return
+        info = self.g.classes.get(self.g.attr_owner(base.cls, recv.attr))
+        if info is None:
+            return
+        ctor = self.g.attr_ctor(base.cls, recv.attr)
+        if attr == "join" and ctor in THREAD_CTORS:
+            info.join_attrs.add(recv.attr)
+        elif attr == "set" and ctor in EVENT_CTORS:
+            info.event_set_attrs.add(recv.attr)
+
+
+# ----------------------------------------------------------------------
+# Small shared helpers
+# ----------------------------------------------------------------------
+
+
+def _dotted_expr(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` as a string for Name/Attribute chains, else None."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _nonblocking_call(node: ast.Call) -> bool:
+    """``.get(block=False)`` / ``.put(item, block=False)`` do not wait."""
+    for kw in node.keywords:
+        if kw.arg == "block" and isinstance(kw.value, ast.Constant):
+            if kw.value.value is False:
+                return True
+    return False
+
+
+def _parse_guarded_by(node: ast.expr) -> Dict[str, str]:
+    """``_GUARDED_BY = {"attr": "why"}`` → the declared exemptions.
+
+    Non-literal shapes are ignored (the lint rule reports an empty or
+    missing justification separately).
+    """
+    out: Dict[str, str] = {}
+    if not isinstance(node, ast.Dict):
+        return out
+    for key, value in zip(node.keys, node.values):
+        if (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            out[key.value] = value.value
+    return out

@@ -1,0 +1,427 @@
+"""Thread-aware lint rules over the call graph: the concurrency suite.
+
+Four rules, all riding the normal :class:`~repro.qa.framework.Rule`
+engine (so ``# flowlint: disable=RULE -- why`` pragmas and the pragma
+budget apply unchanged):
+
+* ``lock-discipline`` — an instance attribute written by code reachable
+  from one thread color and read from another must hold one common lock
+  at *every* non-construction access, or be declared in the owning
+  class's ``_GUARDED_BY = {"attr": "why"}`` table;
+* ``blocking-under-lock`` — no ``time.sleep``, ``open()``, or blocking
+  ``queue.get/put``/``.join()`` while a lock is held, directly or through
+  any call chain;
+* ``lock-order`` — the same two locks acquired in both nesting orders is
+  a deadlock waiting for load;
+* ``unmanaged-thread`` — every ``threading.Thread(...)`` needs a
+  shutdown path: bound and ``.join()``-ed, or stoppable via an Event.
+
+The rules only *report* inside :data:`CONCURRENCY_PACKAGES` (the
+threaded service and its HTTP surface) but the call graph is built over
+the whole project, so a race between the service and code that calls
+into it is still seen.
+
+Held-lock context is interprocedural: a helper whose every call site
+holds ``self._lock`` is analyzed as holding it too (the greatest
+fixpoint of intersecting call-site locksets), so the
+``_publish_locked``-style pattern needs no annotation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.qa.callgraph import (
+    AttrAccess,
+    CallGraph,
+    Entrypoint,
+    FunctionInfo,
+)
+from repro.qa.framework import Finding, Project, Rule, findings_sorted
+
+#: Where the concurrency rules report findings. The call graph itself is
+#: project-wide; this bounds the *owners* (lock-discipline) and *sites*
+#: (other rules) that can fire, keeping single-threaded packages quiet.
+CONCURRENCY_PACKAGES: Tuple[str, ...] = ("repro.service", "repro.obs.httpd")
+
+
+def _in_scope(module: str, packages: Sequence[str]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in packages)
+
+
+def _short(qualname: str) -> str:
+    """``repro.service.daemon.StreamService`` → ``StreamService``."""
+    return qualname.rsplit(".", 1)[-1]
+
+
+class ConcurrencyAnalysis:
+    """One call graph + derived tables, shared by all four rules.
+
+    The engine calls every rule's ``check_project`` with the same
+    project; the first call builds everything, the rest reuse it.
+    """
+
+    def __init__(self, packages: Sequence[str] = CONCURRENCY_PACKAGES) -> None:
+        self.packages = tuple(packages)
+        self._project: Optional[Project] = None
+        self.graph: CallGraph = CallGraph()
+        self.inherited: Dict[str, FrozenSet[str]] = {}
+        self._acq_closure: Dict[str, FrozenSet[str]] = {}
+        self._blocking_fns: Set[str] = set()
+
+    def ensure(self, project: Project) -> None:
+        if self._project is project:
+            return
+        self._project = project
+        self.graph = CallGraph.build(project)
+        self.inherited = self._inherited_locks()
+        self._acq_closure = {}
+        self._blocking_fns = {op.func for op in self.graph.blocking}
+
+    # -- derived tables --------------------------------------------------
+
+    def _inherited_locks(self) -> Dict[str, FrozenSet[str]]:
+        """Locks held at *every* call site, propagated to the callee.
+
+        Greatest-fixpoint dataflow: start every function that has project
+        call sites at "universe" (None), entrypoints and rootless
+        functions at the empty set, then repeatedly intersect
+        ``site.locks | inherited(caller)`` across call sites until
+        stable. Cycles that never touch a root stay at universe and are
+        resolved to the empty set — under-approximating held locks can
+        only produce an extra finding, never hide a race... the opposite:
+        for *guard* checks an over-approximation could hide a race, so
+        unresolved means unguarded.
+        """
+        graph = self.graph
+        sites: Dict[str, List[Tuple[str, FrozenSet[str]]]] = defaultdict(list)
+        for call in graph.calls:
+            sites[call.callee].append((call.caller, call.locks))
+        entries = {e.qualname for e in graph.entrypoints}
+        inh: Dict[str, Optional[FrozenSet[str]]] = {}
+        for qual in graph.functions:
+            if qual in entries or not sites.get(qual):
+                inh[qual] = frozenset()
+            else:
+                inh[qual] = None
+        changed = True
+        while changed:
+            changed = False
+            for qual, call_sites in sites.items():
+                if qual in entries or qual not in inh:
+                    continue
+                acc: Optional[FrozenSet[str]] = None
+                for caller, locks in call_sites:
+                    caller_inh = inh.get(caller, frozenset())
+                    if caller_inh is None:
+                        continue  # universe: contributes no restriction yet
+                    contrib = locks | caller_inh
+                    acc = contrib if acc is None else (acc & contrib)
+                if acc is not None and acc != inh[qual]:
+                    inh[qual] = acc
+                    changed = True
+        return {q: (v or frozenset()) for q, v in inh.items()}
+
+    def effective_locks(self, func: str, site_locks: FrozenSet[str]) -> FrozenSet[str]:
+        return site_locks | self.inherited.get(func, frozenset())
+
+    def acq_closure(self, func: str) -> FrozenSet[str]:
+        """Every lock acquired in ``func`` or anything it can reach."""
+        cached = self._acq_closure.get(func)
+        if cached is not None:
+            return cached
+        reach = self.graph.reachable(func)
+        out = frozenset(
+            acq.lock for acq in self.graph.acquires if acq.func in reach
+        )
+        self._acq_closure[func] = out
+        return out
+
+    def blocking_reachable(self, func: str) -> Optional[str]:
+        """A description of the first blocking op reachable from ``func``."""
+        reach = self.graph.reachable(func)
+        hits = [op for op in self.graph.blocking if op.func in reach]
+        if not hits:
+            return None
+        hits.sort(key=lambda op: (op.path, op.line))
+        op = hits[0]
+        return f"{op.what} in {_short(op.func)} ({op.path}:{op.line})"
+
+    def fn_module(self, qual: str) -> str:
+        info = self.graph.functions.get(qual)
+        return info.module if info is not None else ""
+
+
+class _ConcurrencyRule(Rule):
+    """Base: holds the shared analysis and triggers it per project."""
+
+    def __init__(self, analysis: ConcurrencyAnalysis) -> None:
+        self.analysis = analysis
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        self.analysis.ensure(project)
+        return iter(findings_sorted(self._check()))
+
+    def _check(self) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class LockDisciplineRule(_ConcurrencyRule):
+    """Shared attributes need one common lock (or a _GUARDED_BY entry)."""
+
+    name = "lock-discipline"
+    description = (
+        "instance attributes written on one thread and read on another "
+        "must hold a common lock at every access, or be declared in the "
+        "class's _GUARDED_BY table with a justification"
+    )
+
+    def _check(self) -> Iterator[Finding]:
+        analysis = self.analysis
+        graph = analysis.graph
+        grouped: Dict[Tuple[str, str], List[AttrAccess]] = defaultdict(list)
+        for access in graph.accesses:
+            cls = graph.classes.get(access.owner)
+            if cls is None or not _in_scope(cls.module, analysis.packages):
+                continue
+            grouped[(access.owner, access.attr)].append(access)
+
+        for (owner, attr), accesses in sorted(grouped.items()):
+            reason = graph.guarded_reason(owner, attr)
+            if reason is not None:
+                continue  # sanctioned (emptiness checked below)
+            live = [a for a in accesses if not graph.is_exempt(a.func)]
+            if not live:
+                continue
+            writes = [a for a in live if a.write]
+            if not writes:
+                continue
+            colors: Set[str] = set()
+            for access in live:
+                colors.update(graph.color(access.func))
+            if len(colors) < 2:
+                continue
+            common = frozenset.intersection(
+                *[analysis.effective_locks(a.func, a.locks) for a in live]
+            )
+            if common:
+                continue
+            # Anchor the finding at the least-guarded site: prefer an
+            # accessor holding nothing, writes before reads.
+            def _bare(a: AttrAccess) -> Tuple[int, int, str, int]:
+                locked = 1 if analysis.effective_locks(a.func, a.locks) else 0
+                return (locked, 0 if a.write else 1, a.path, a.line)
+
+            anchor = sorted(live, key=_bare)[0]
+            where = ", ".join(
+                sorted({f"{_short(a.func)}[{'+'.join(sorted(graph.color(a.func)) or ['?'])}]" for a in live})[:4]
+            )
+            yield Finding(
+                rule=self.name,
+                path=anchor.path,
+                line=anchor.line,
+                message=(
+                    f"{_short(owner)}.{attr} is accessed from multiple thread "
+                    f"colors ({', '.join(sorted(colors))}) with no common lock "
+                    f"(sites: {where}); guard every access with one lock "
+                    f"(e.g. `with self._lock:`) or declare it in "
+                    f"{_short(owner)}._GUARDED_BY with a justification"
+                ),
+            )
+
+        # Empty _GUARDED_BY justifications are findings, not exemptions.
+        for cls in sorted(graph.classes.values(), key=lambda c: c.qualname):
+            if not _in_scope(cls.module, analysis.packages):
+                continue
+            for attr, why in sorted(cls.guarded_by.items()):
+                if not why.strip():
+                    yield Finding(
+                        rule=self.name,
+                        path=cls.path,
+                        line=cls.line,
+                        message=(
+                            f"{cls.name}._GUARDED_BY[{attr!r}] has an empty "
+                            "justification; say why the attribute is safe "
+                            "without a lock"
+                        ),
+                    )
+
+
+class BlockingUnderLockRule(_ConcurrencyRule):
+    """No sleeping, file I/O, or queue waits while holding a lock."""
+
+    name = "blocking-under-lock"
+    description = (
+        "blocking operations (time.sleep, open(), blocking queue "
+        "get/put/join, thread joins) must not run while a lock is held"
+    )
+
+    def _check(self) -> Iterator[Finding]:
+        analysis = self.analysis
+        graph = analysis.graph
+        seen: Set[Tuple[str, int]] = set()
+        for op in graph.blocking:
+            if not _in_scope(analysis.fn_module(op.func), analysis.packages):
+                continue
+            held = analysis.effective_locks(op.func, op.locks)
+            if not held or (op.path, op.line) in seen:
+                continue
+            seen.add((op.path, op.line))
+            inherited_note = (
+                "" if op.locks else " (lock held by every caller)"
+            )
+            yield Finding(
+                rule=self.name,
+                path=op.path,
+                line=op.line,
+                message=(
+                    f"blocking {op.what} while holding "
+                    f"{', '.join(sorted(held))}{inherited_note}; blocking "
+                    "under a lock stalls every thread contending for it — "
+                    "move the work outside the locked region"
+                ),
+            )
+        for call in graph.calls:
+            if not _in_scope(analysis.fn_module(call.caller), analysis.packages):
+                continue
+            held = analysis.effective_locks(call.caller, call.locks)
+            if not held or (call.path, call.line) in seen:
+                continue
+            blocked = analysis.blocking_reachable(call.callee)
+            if blocked is None:
+                continue
+            seen.add((call.path, call.line))
+            yield Finding(
+                rule=self.name,
+                path=call.path,
+                line=call.line,
+                message=(
+                    f"call to {_short(call.callee)}() while holding "
+                    f"{', '.join(sorted(held))} can block: it reaches "
+                    f"{blocked}; move the call outside the locked region"
+                ),
+            )
+
+
+class LockOrderRule(_ConcurrencyRule):
+    """Two locks taken in both nesting orders deadlock under load."""
+
+    name = "lock-order"
+    description = (
+        "pairwise lock acquisition order must be globally consistent; "
+        "A-then-B somewhere and B-then-A elsewhere is a deadlock hazard"
+    )
+
+    def _check(self) -> Iterator[Finding]:
+        analysis = self.analysis
+        graph = analysis.graph
+        #: (held, acquired) -> first witnessing site.
+        pairs: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+
+        def note(held: FrozenSet[str], acquired: str, path: str, line: int, fn: str) -> None:
+            for h in held:
+                if h != acquired:
+                    pairs.setdefault((h, acquired), (path, line, fn))
+
+        for acq in graph.acquires:
+            note(
+                analysis.effective_locks(acq.func, acq.held),
+                acq.lock,
+                acq.path,
+                acq.line,
+                acq.func,
+            )
+        for call in graph.calls:
+            held = analysis.effective_locks(call.caller, call.locks)
+            if not held:
+                continue
+            for lock in analysis.acq_closure(call.callee):
+                note(held, lock, call.path, call.line, call.caller)
+
+        reported: Set[Tuple[str, str]] = set()
+        for (a, b), (path, line, fn) in sorted(pairs.items()):
+            if (b, a) not in pairs or (b, a) in reported:
+                continue
+            reported.add((a, b))
+            other_path, other_line, _ = pairs[(b, a)]
+            here_in_scope = _in_scope(analysis.fn_module(fn), analysis.packages)
+            if not here_in_scope:
+                continue
+            yield Finding(
+                rule=self.name,
+                path=path,
+                line=line,
+                message=(
+                    f"locks {_short(a)} and {_short(b)} are acquired in both "
+                    f"orders ({_short(a)}→{_short(b)} here, "
+                    f"{_short(b)}→{_short(a)} at {other_path}:{other_line}); "
+                    "pick one global order to make deadlock impossible"
+                ),
+            )
+
+
+class UnmanagedThreadRule(_ConcurrencyRule):
+    """Every thread needs a join or stop-Event path to shutdown."""
+
+    name = "unmanaged-thread"
+    description = (
+        "threading.Thread(...) must be bound and joined (or stoppable "
+        "via an Event that some method sets); fire-and-forget threads "
+        "leak work past shutdown"
+    )
+
+    def _check(self) -> Iterator[Finding]:
+        analysis = self.analysis
+        graph = analysis.graph
+        for create in graph.thread_creates:
+            if not _in_scope(analysis.fn_module(create.func), analysis.packages):
+                continue
+            managed = False
+            detail = "the thread object is discarded"
+            if create.bound is not None and create.bound[0] == "attr":
+                attr = create.bound[1]
+                owner = (
+                    graph.attr_owner(create.cls, attr)
+                    if create.cls is not None
+                    else None
+                )
+                info = graph.classes.get(owner) if owner else None
+                if info is not None:
+                    managed = attr in info.join_attrs or bool(
+                        info.event_set_attrs
+                    )
+                    detail = (
+                        f"self.{attr} is never joined and "
+                        f"{info.name} sets no stop Event"
+                    )
+            elif create.bound is not None and create.bound[0] == "local":
+                local = create.bound[1]
+                fn = graph.functions.get(create.func)
+                managed = fn is not None and local in fn.local_joins
+                detail = f"local {local!r} is never joined"
+            if managed:
+                continue
+            yield Finding(
+                rule=self.name,
+                path=create.path,
+                line=create.line,
+                message=(
+                    f"thread created without a shutdown path: {detail}; "
+                    "join it on stop() or guard its loop with a stop "
+                    "Event so work cannot leak past exit"
+                ),
+            )
+
+
+def concurrency_rules(
+    packages: Sequence[str] = CONCURRENCY_PACKAGES,
+) -> List[Rule]:
+    """The four concurrency rules sharing one analysis cache."""
+    analysis = ConcurrencyAnalysis(packages)
+    return [
+        LockDisciplineRule(analysis),
+        BlockingUnderLockRule(analysis),
+        LockOrderRule(analysis),
+        UnmanagedThreadRule(analysis),
+    ]

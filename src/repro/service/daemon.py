@@ -3,8 +3,8 @@
 :class:`StreamService` hosts any number of :class:`TenantPipeline`\\ s in
 one process. Producers — file tails, in-process simulator feeds, tests —
 hand message batches to :meth:`StreamService.feed`; a single drain thread
-serializes them into the per-tenant pipelines, so the pipelines stay
-lock-free. The queue is bounded: a blocking producer experiences
+serializes them into the per-tenant pipelines, so the heavy pipeline
+work runs lock-free. The queue is bounded: a blocking producer experiences
 backpressure, a non-blocking one gets its batch dropped with explicit
 ``service_dropped_total{reason="backpressure"}`` accounting — ingest
 never buffers unboundedly.
@@ -13,6 +13,13 @@ never buffers unboundedly.
 :mod:`repro.openflow.serialize` format) into the feed, optionally
 following the file as a live producer appends to it — the daemon
 equivalent of ``tail -f`` on a controller capture.
+
+Thread model: producers (main thread, tail threads) call :meth:`feed`,
+the drain thread mutates pipelines, and the HTTP thread reads snapshots.
+``StreamService._lock`` guards the tenant map, the error tail, and the
+queue-depth counter; everything heavier happens outside it. The HTTP
+surface must use the snapshot accessors (:meth:`get_tenant`,
+:meth:`tenant_items`, :meth:`recent_errors`), never the raw containers.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ import json
 import queue
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.flowdiff import FlowDiffConfig
 from repro.obs.alerts import AlertEngine, default_rules
@@ -82,7 +89,9 @@ class StreamService:
 
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_pending)
         self._depth_msgs = 0
-        self._depth_lock = threading.Lock()
+        #: Guards ``tenants``, ``errors``, and ``_depth_msgs`` — the only
+        #: state shared between producers, the drain thread, and HTTP.
+        self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._m_depth = self.metrics.gauge("service_queue_depth")
         self._m_tenants = self.metrics.gauge("service_tenants")
@@ -95,8 +104,9 @@ class StreamService:
         Keyword overrides are forwarded to :class:`TenantPipeline` on top
         of the service defaults.
         """
-        if name in self.tenants:
-            raise ValueError(f"tenant {name!r} already registered")
+        with self._lock:
+            if name in self.tenants:
+                raise ValueError(f"tenant {name!r} already registered")
         kwargs: Dict[str, object] = {
             "window": self.window,
             "baseline_span": self.baseline_span,
@@ -109,10 +119,32 @@ class StreamService:
             "trace_capacity": self.trace_capacity,
         }
         kwargs.update(overrides)
+        # Construction is heavy (checkpoint restore does file I/O), so it
+        # happens outside the lock; the insert re-checks for a racing
+        # registration of the same name.
         tenant = TenantPipeline(name, self.config, **kwargs)  # type: ignore[arg-type]
-        self.tenants[name] = tenant
-        self._m_tenants.set(float(len(self.tenants)))
+        with self._lock:
+            if name in self.tenants:
+                raise ValueError(f"tenant {name!r} already registered")
+            self.tenants[name] = tenant
+            count = len(self.tenants)
+        self._m_tenants.set(float(count))
         return tenant
+
+    def get_tenant(self, name: str) -> Optional[TenantPipeline]:
+        """Snapshot lookup of one tenant (safe from any thread)."""
+        with self._lock:
+            return self.tenants.get(name)
+
+    def tenant_items(self) -> List[Tuple[str, TenantPipeline]]:
+        """A point-in-time copy of the tenant map (safe from any thread)."""
+        with self._lock:
+            return list(self.tenants.items())
+
+    def recent_errors(self) -> List[str]:
+        """A copy of the recent ingest-error tail (safe from any thread)."""
+        with self._lock:
+            return list(self.errors)
 
     # -- ingest ----------------------------------------------------------
 
@@ -131,12 +163,17 @@ class StreamService:
         counted under ``service_dropped_total{reason="backpressure"}``
         (the lossy mode for live feeds that must not stall the producer).
         """
-        if tenant not in self.tenants:
+        with self._lock:
+            known = tenant in self.tenants
+        if not known:
             raise KeyError(f"unknown tenant {tenant!r}")
         batch = list(messages)
         if not batch:
             return 0
         item = (tenant, batch)
+        # The put happens outside the lock: with backpressure it blocks
+        # until the drain thread makes room, and the drain thread takes
+        # the same lock to account its progress.
         if block:
             self._queue.put(item)
         else:
@@ -147,9 +184,10 @@ class StreamService:
                     "service_dropped_total", tenant=tenant, reason="backpressure"
                 ).inc(len(batch))
                 return 0
-        with self._depth_lock:
+        with self._lock:
             self._depth_msgs += len(batch)
-            self._m_depth.set(float(self._depth_msgs))
+            depth = self._depth_msgs
+        self._m_depth.set(float(depth))
         return len(batch)
 
     # -- lifecycle -------------------------------------------------------
@@ -185,17 +223,25 @@ class StreamService:
                 return
             name, batch = item  # type: ignore[misc]
             try:
-                self.tenants[name].ingest(batch)
+                with self._lock:
+                    pipeline = self.tenants.get(name)
+                if pipeline is None:  # pragma: no cover - feed() checks first
+                    raise KeyError(f"unknown tenant {name!r}")
+                # Ingest is the heavy path (modeling, checkpoint I/O) and
+                # must run outside the service lock.
+                pipeline.ingest(batch)
             except Exception as exc:  # pragma: no cover - defensive
                 self.metrics.counter(
                     "service_ingest_errors_total", tenant=name
                 ).inc()
-                self.errors.append(f"{name}: {exc!r}")
-                del self.errors[:-16]
+                with self._lock:
+                    self.errors.append(f"{name}: {exc!r}")
+                    del self.errors[:-16]
             finally:
-                with self._depth_lock:
+                with self._lock:
                     self._depth_msgs -= len(batch)
-                    self._m_depth.set(float(self._depth_msgs))
+                    depth = self._depth_msgs
+                self._m_depth.set(float(depth))
                 self._queue.task_done()
 
     def __enter__(self) -> "StreamService":

@@ -13,8 +13,11 @@ service pages ride the endpoint's route table:
 * ``/traces?tenant=X[&corr=N][&flow=S][&limit=K]`` — flight-recorder
   chains reconstructed from the tenant's recent-message ring.
 
-Everything is read-only and served from live pipeline state; no handler
-mutates a tenant.
+Everything is read-only and served from the tenants' *published
+snapshots* (``summary``/``history_rows``/``alerts_snapshot``/
+``trace_snapshot`` and the service's ``tenant_items``/``recent_errors``)
+— handlers run on the HTTP thread while the drain worker mutates
+pipeline state, so they must never touch live modeling attributes.
 """
 
 from __future__ import annotations
@@ -55,23 +58,18 @@ class ServiceState(ObsState):
         payload = super().health()
         payload["tenants"] = {
             name: tenant.summary()
-            for name, tenant in self.service.tenants.items()
+            for name, tenant in self.service.tenant_items()
         }
-        if self.service.errors:
-            payload["ingest_errors"] = list(self.service.errors)
+        errors = self.service.recent_errors()
+        if errors:
+            payload["ingest_errors"] = errors
         return payload
 
     def alerts_json(self) -> List[Dict[str, Any]]:
         """Every tenant's fired alerts, tenant-labeled, ordered by time."""
         out: List[Dict[str, Any]] = []
-        for name, tenant in self.service.tenants.items():
-            engine = tenant.alert_engine
-            if engine is None:
-                continue
-            for alert in engine.alerts:
-                row = alert.to_dict()
-                row["tenant"] = name
-                out.append(row)
+        for _, tenant in self.service.tenant_items():
+            out.extend(tenant.alerts_snapshot())
         out.sort(key=lambda row: row.get("timestamp") or 0.0)
         return out
 
@@ -80,22 +78,22 @@ class ServiceState(ObsState):
     def _tenant_for(self, query: Query) -> Tuple[Optional[TenantPipeline], Any]:
         """Resolve ``?tenant=``; a single-tenant service needs no query."""
         names = query.get("tenant")
-        tenants = self.service.tenants
         if names:
-            tenant = tenants.get(names[0])
+            tenant = self.service.get_tenant(names[0])
             if tenant is None:
                 return None, (404, {"error": f"unknown tenant {names[0]!r}"})
             return tenant, None
-        if len(tenants) == 1:
-            return next(iter(tenants.values())), None
+        items = self.service.tenant_items()
+        if len(items) == 1:
+            return items[0][1], None
         return None, (
             400,
-            {"error": "tenant query required", "tenants": sorted(tenants)},
+            {"error": "tenant query required", "tenants": sorted(n for n, _ in items)},
         )
 
     def _route_tenants(self, query: Query) -> Tuple[int, Any]:
         return 200, {
-            "tenants": [t.summary() for t in self.service.tenants.values()]
+            "tenants": [t.summary() for _, t in self.service.tenant_items()]
         }
 
     def _route_diff(self, query: Query) -> Tuple[int, Any]:
@@ -106,19 +104,10 @@ class ServiceState(ObsState):
             n = max(1, int(query.get("n", ["1"])[0]))
         except ValueError:
             return 400, {"error": "n must be an integer"}
-        windows = [
-            {
-                "t_start": entry.t_start,
-                "t_end": entry.t_end,
-                "healthy": entry.healthy,
-                "report": entry.report.to_dict(),
-            }
-            for entry in tenant.history[-n:]
-        ]
         return 200, {
             "tenant": tenant.name,
-            "phase": tenant.phase,
-            "windows": windows,
+            "phase": tenant.summary().get("phase"),
+            "windows": tenant.history_rows(n),
         }
 
     def _route_traces(self, query: Query) -> Tuple[int, Any]:
@@ -131,7 +120,7 @@ class ServiceState(ObsState):
         from repro.openflow.log import ControllerLog
 
         recorder = FlightRecorder.from_log(
-            ControllerLog(list(tenant.trace_ring)),
+            ControllerLog(tenant.trace_snapshot()),
             occurrence_gap=tenant.flowdiff.config.signature.occurrence_gap,
         )
         timelines = recorder.timelines

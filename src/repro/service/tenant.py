@@ -13,14 +13,22 @@ Memory is bounded by construction: raw messages and partial signatures
 live only for the currently open window, the report history is trimmed
 to ``history_limit`` entries, and the trace ring is a fixed-size deque.
 
-The pipeline is single-threaded by design — the daemon
+The heavy pipeline is single-threaded by design — the daemon
 (:mod:`repro.service.daemon`) serializes all ingest through one drain
-thread, so none of this needs locks.
+thread, so modeling state needs no locks. What *is* shared with the
+HTTP thread goes through a small set of published mirrors guarded by
+``_lock``: the trace ring, prebuilt diff-report rows, tenant-labeled
+alert rows, and the :meth:`summary` snapshot dict. The worker rebuilds
+those mirrors at phase changes and window closes (all computation
+outside the lock, only the swap inside), and HTTP handlers read them
+through the ``*_snapshot``/``history_rows``/``summary`` accessors —
+never the live modeling attributes.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -107,7 +115,14 @@ class TenantPipeline:
             metrics=metrics,
             alert_engine=alert_engine,
         )
+        #: Guards the published mirrors below (and the trace ring) — the
+        #: only tenant state the HTTP thread may touch.
+        self._lock = threading.Lock()
         self.trace_ring: Deque[ControlMessage] = deque(maxlen=trace_capacity)
+        self._published: Dict[str, object] = {}
+        self._history_rows: List[Dict[str, object]] = []
+        self._alert_rows: List[Dict[str, object]] = []
+        self._alerts_seen = 0
 
         self._m_ingested = metrics.counter(
             "service_ingest_messages_total", tenant=name
@@ -150,6 +165,7 @@ class TenantPipeline:
             self._cache = ModelCache(checkpoint_dir)
             if resume:
                 self._restore()
+        self._publish()
 
     # -- ingest ----------------------------------------------------------
 
@@ -164,11 +180,14 @@ class TenantPipeline:
         """
         self._m_ingested.inc(len(messages))
         reports: List[WindowReport] = []
-        ring = self.trace_ring
+        # One bulk append per batch: the ring is read by the HTTP thread
+        # (``trace_snapshot``), so mutation happens under the lock — and
+        # amortized per batch, not per message.
+        with self._lock:
+            self.trace_ring.extend(messages)
         resume_cursor = self._resume_cursor
         for msg in messages:
             ts = msg.timestamp
-            ring.append(msg)
             if resume_cursor is not None:
                 if ts < resume_cursor:
                     self._m_resumed.inc()
@@ -210,6 +229,7 @@ class TenantPipeline:
         if self._cache is not None:
             self._baseline_digest = self._cache.store_object(baseline)
         self._open_window()
+        self._publish()
 
     def _open_window(self) -> None:
         assert self._cursor is not None
@@ -275,8 +295,73 @@ class TenantPipeline:
             # have to replay — the staleness of the durable state.
             self._m_checkpoint_age.set(t1 - anchor)
         self._checkpoint(t1)
+        self._publish_window(entry)
+        self._publish_alerts()
+        self._publish()
         self._m_report.observe(wall_now() - started)
         return entry
+
+    # -- published mirrors (worker writes, HTTP reads) -------------------
+
+    def _publish_window(self, entry: WindowReport) -> None:
+        """Append one prebuilt ``/diff`` row; the expensive
+        ``report.to_dict()`` runs before the lock is taken."""
+        row: Dict[str, object] = {
+            "t_start": entry.t_start,
+            "t_end": entry.t_end,
+            "healthy": entry.healthy,
+            "report": entry.report.to_dict(),
+        }
+        with self._lock:
+            self._history_rows.append(row)
+            if len(self._history_rows) > self.history_limit:
+                del self._history_rows[: len(self._history_rows) - self.history_limit]
+
+    def _publish_alerts(self) -> None:
+        """Mirror alerts fired since the last close, tenant-labeled."""
+        engine = self.stream.alert_engine
+        if engine is None:
+            return
+        alerts = engine.alerts
+        if len(alerts) <= self._alerts_seen:
+            return
+        rows: List[Dict[str, object]] = []
+        for alert in alerts[self._alerts_seen :]:
+            row = alert.to_dict()
+            row["tenant"] = self.name
+            rows.append(row)
+        self._alerts_seen = len(alerts)
+        with self._lock:
+            self._alert_rows.extend(rows)
+
+    def _publish(self) -> None:
+        """Rebuild the :meth:`summary` snapshot from worker-owned state."""
+        worst = None
+        alerts = 0
+        engine = self.stream.alert_engine
+        if engine is not None:
+            alerts = len(engine.alerts)
+            severity = engine.worst_severity()
+            worst = str(severity) if severity is not None else None
+        last_window = None
+        history = self.stream.history
+        if history:
+            tail = history[-1]
+            last_window = [tail.t_start, tail.t_end]
+        payload: Dict[str, object] = {
+            "tenant": self.name,
+            "phase": self.phase,
+            "resumed": self.resumed,
+            "windows": self.windows_total,
+            "statuses": dict(self.status_counts),
+            "cursor": self._cursor,
+            "last_window": last_window,
+            "healthy_streak": self.stream.healthy_streak(),
+            "alerts": alerts,
+            "worst_severity": worst,
+        }
+        with self._lock:
+            self._published = payload
 
     # -- checkpoint / restore -------------------------------------------
 
@@ -353,27 +438,26 @@ class TenantPipeline:
         return self.stream.alert_engine
 
     def summary(self) -> Dict[str, object]:
-        """One row of ``/tenants``: phase, progress, and health."""
-        worst = None
-        alerts = 0
-        engine = self.stream.alert_engine
-        if engine is not None:
-            alerts = len(engine.alerts)
-            severity = engine.worst_severity()
-            worst = str(severity) if severity is not None else None
-        last_window = None
-        if self.stream.history:
-            tail = self.stream.history[-1]
-            last_window = [tail.t_start, tail.t_end]
-        return {
-            "tenant": self.name,
-            "phase": self.phase,
-            "resumed": self.resumed,
-            "windows": self.windows_total,
-            "statuses": dict(self.status_counts),
-            "cursor": self._cursor,
-            "last_window": last_window,
-            "healthy_streak": self.stream.healthy_streak(),
-            "alerts": alerts,
-            "worst_severity": worst,
-        }
+        """One row of ``/tenants``: phase, progress, and health.
+
+        Served from the published snapshot — safe from any thread; the
+        worker refreshes it at every phase change and window close.
+        """
+        with self._lock:
+            return dict(self._published)
+
+    def history_rows(self, n: int) -> List[Dict[str, object]]:
+        """The last ``n`` prebuilt ``/diff`` rows (safe from any thread)."""
+        with self._lock:
+            rows = self._history_rows[-n:] if n > 0 else []
+            return [dict(row) for row in rows]
+
+    def alerts_snapshot(self) -> List[Dict[str, object]]:
+        """Every mirrored alert row, tenant-labeled (safe from any thread)."""
+        with self._lock:
+            return [dict(row) for row in self._alert_rows]
+
+    def trace_snapshot(self) -> List[ControlMessage]:
+        """A point-in-time copy of the trace ring (safe from any thread)."""
+        with self._lock:
+            return list(self.trace_ring)

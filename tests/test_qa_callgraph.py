@@ -1,0 +1,168 @@
+"""The interprocedural call graph: entrypoints, coloring, fact records.
+
+These tests feed small fixture modules through :func:`CallGraph.build`
+and assert the *facts* layer the concurrency rules consume: which
+functions are thread entrypoints, what color each function runs under,
+and which attribute accesses / lock acquisitions / thread creations are
+recorded with what held-lock context.
+"""
+
+import textwrap
+
+from repro.qa.callgraph import MAIN, WORKER, HTTP, CallGraph
+from repro.qa.framework import ModuleFile, Project
+
+
+def build(source, name="repro.confix.mod"):
+    path = "src/" + name.replace(".", "/") + ".py"
+    mod = ModuleFile(path, textwrap.dedent(source), module=name)
+    return CallGraph.build(Project([mod]))
+
+
+WORKER_CLASS = """\
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.value = 0
+            self._thread = None
+
+        def start(self):
+            self._thread = threading.Thread(target=self._run, daemon=True)
+            self._thread.start()
+
+        def stop(self):
+            self._thread.join()
+
+        def _run(self):
+            self._bump()
+
+        def _bump(self):
+            with self._lock:
+                self.value += 1
+
+
+    def poke(box: Box) -> int:
+        return box.value
+    """
+
+
+class TestEntrypoints:
+    def test_thread_target_is_a_worker_entrypoint(self):
+        graph = build(WORKER_CLASS)
+        workers = {e.qualname for e in graph.entrypoints if e.kind == WORKER}
+        assert "repro.confix.mod.Box._run" in workers
+
+    def test_http_handler_methods_are_entrypoints(self):
+        graph = build(
+            """\
+            from http.server import BaseHTTPRequestHandler
+
+            class Handler(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    self._reply()
+
+                def _reply(self):
+                    pass
+            """
+        )
+        https = {e.qualname for e in graph.entrypoints if e.kind == HTTP}
+        assert "repro.confix.mod.Handler.do_GET" in https
+
+
+class TestColoring:
+    def test_worker_color_does_not_leak_to_the_spawner(self):
+        graph = build(WORKER_CLASS)
+        assert WORKER in graph.color("repro.confix.mod.Box._run")
+        # _bump is only called from the worker entrypoint.
+        assert graph.color("repro.confix.mod.Box._bump") == frozenset({WORKER})
+        # start() runs on whatever thread calls it — main here — and
+        # spawning a thread must not color it as the worker.
+        assert WORKER not in graph.color("repro.confix.mod.Box.start")
+
+    def test_uncalled_module_function_is_a_main_root(self):
+        graph = build(WORKER_CLASS)
+        assert MAIN in graph.color("repro.confix.mod.poke")
+
+    def test_constructors_are_exempt(self):
+        graph = build(WORKER_CLASS)
+        assert graph.is_exempt("repro.confix.mod.Box.__init__")
+
+
+class TestFacts:
+    def test_attr_access_records_owner_write_and_locks(self):
+        graph = build(WORKER_CLASS)
+        by_attr = {
+            (a.owner, a.attr, a.write): a
+            for a in graph.accesses
+            if a.attr == "value"
+        }
+        write = by_attr[("repro.confix.mod.Box", "value", True)]
+        assert "repro.confix.mod.Box._lock" in write.locks
+        read = by_attr[("repro.confix.mod.Box", "value", False)]
+        assert read.func == "repro.confix.mod.poke"
+        assert not read.locks
+
+    def test_lock_acquire_and_thread_create_are_recorded(self):
+        graph = build(WORKER_CLASS)
+        assert any(
+            acq.lock == "repro.confix.mod.Box._lock" for acq in graph.acquires
+        )
+        creates = [c for c in graph.thread_creates]
+        assert len(creates) == 1
+        assert creates[0].bound == ("attr", "_thread")
+
+    def test_blocking_ops_are_recorded_with_held_locks(self):
+        graph = build(
+            """\
+            import threading
+            import time
+
+            class Sleeper:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def nap(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """
+        )
+        ops = {op.what: op for op in graph.blocking}
+        assert "time.sleep()" in ops
+        assert "repro.confix.mod.Sleeper._lock" in ops["time.sleep()"].locks
+
+    def test_mutator_method_counts_as_write(self):
+        graph = build(
+            """\
+            import threading
+
+            class Ring:
+                def __init__(self):
+                    self.items = []
+                    self._thread = threading.Thread(target=self._run)
+                    self._thread.start()
+
+                def stop(self):
+                    self._thread.join()
+
+                def _run(self):
+                    self.items.append(1)
+            """
+        )
+        writes = {
+            a.func for a in graph.accesses if a.attr == "items" and a.write
+        }
+        assert "repro.confix.mod.Ring._run" in writes
+
+
+class TestRealService:
+    def test_service_entrypoints_are_discovered(self):
+        import os
+
+        src = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+        graph = CallGraph.build(Project.load([src]))
+        names = {e.qualname.rsplit(".", 1)[-1] for e in graph.entrypoints}
+        assert "_drain_loop" in names  # the daemon's worker
+        assert "run" in names  # FileTailSource tail thread
+        assert "do_GET" in names  # the ops endpoint

@@ -1,0 +1,422 @@
+"""Good/bad fixture pairs for the four concurrency rules.
+
+Fixture modules live under a fake ``repro.confix`` package; the rules
+are built with ``packages=("repro.confix",)`` so the fixtures are in
+reporting scope. The final self-check runs the real rule set (scoped to
+the service + ops endpoint) over the shipped source tree — the
+repository must lint clean under ``repro lint --concurrency``.
+"""
+
+import os
+import textwrap
+
+from repro.qa import LintEngine, concurrency_rules, default_rules
+from repro.qa.framework import ModuleFile, Project
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+SCOPE = ("repro.confix",)
+
+
+def module(source, name="repro.confix.mod"):
+    path = "src/" + name.replace(".", "/") + ".py"
+    return ModuleFile(path, textwrap.dedent(source), module=name)
+
+
+def run(mod):
+    return LintEngine(concurrency_rules(SCOPE)).run(Project([mod]))
+
+
+def rules_fired(result):
+    return sorted({f.rule for f in result.findings})
+
+
+class TestLockDiscipline:
+    BAD = """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self.value = 0
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._run)
+                self._thread.start()
+
+            def stop(self):
+                self._thread.join()
+
+            def _run(self):
+                self.value += 1
+
+
+        def poke(box: Box) -> int:
+            return box.value
+        """
+
+    def test_unguarded_cross_thread_attribute_is_flagged(self):
+        result = run(module(self.BAD))
+        assert rules_fired(result) == ["lock-discipline"]
+        assert "Box.value" in result.findings[0].message
+
+    def test_common_lock_at_every_access_is_clean(self):
+        result = run(
+            module(
+                """\
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.value = 0
+                        self._thread = None
+
+                    def start(self):
+                        self._thread = threading.Thread(target=self._run)
+                        self._thread.start()
+
+                    def stop(self):
+                        self._thread.join()
+
+                    def _run(self):
+                        with self._lock:
+                            self.value += 1
+
+
+                def poke(box: Box) -> int:
+                    with box._lock:
+                        return box.value
+                """
+            )
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_guarded_by_table_sanctions_the_attribute(self):
+        result = run(
+            module(
+                """\
+                import threading
+
+                class Box:
+                    _GUARDED_BY = {
+                        "value": "single writer; torn reads are acceptable",
+                    }
+
+                    def __init__(self):
+                        self.value = 0
+                        self._thread = None
+
+                    def start(self):
+                        self._thread = threading.Thread(target=self._run)
+                        self._thread.start()
+
+                    def stop(self):
+                        self._thread.join()
+
+                    def _run(self):
+                        self.value += 1
+
+
+                def poke(box: Box) -> int:
+                    return box.value
+                """
+            )
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_empty_guarded_by_justification_is_a_finding(self):
+        result = run(
+            module(
+                """\
+                class Box:
+                    _GUARDED_BY = {"value": ""}
+
+                    def __init__(self):
+                        self.value = 0
+                """
+            )
+        )
+        assert rules_fired(result) == ["lock-discipline"]
+        assert "empty" in result.findings[0].message
+
+    def test_helper_locked_at_every_call_site_is_clean(self):
+        # The inherited-lock fixpoint: _publish never takes the lock
+        # itself, but every caller holds it.
+        result = run(
+            module(
+                """\
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.snapshot = {}
+                        self._thread = None
+
+                    def start(self):
+                        self._thread = threading.Thread(target=self._run)
+                        self._thread.start()
+
+                    def stop(self):
+                        self._thread.join()
+
+                    def _run(self):
+                        with self._lock:
+                            self._publish()
+
+                    def _publish(self):
+                        self.snapshot = {"n": 1}
+
+
+                def peek(box: Box) -> dict:
+                    with box._lock:
+                        return box.snapshot
+                """
+            )
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+
+class TestBlockingUnderLock:
+    def test_sleep_under_lock_is_flagged(self):
+        result = run(
+            module(
+                """\
+                import threading
+                import time
+
+                class Sleeper:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def nap(self):
+                        with self._lock:
+                            time.sleep(0.1)
+                """
+            )
+        )
+        assert rules_fired(result) == ["blocking-under-lock"]
+
+    def test_transitive_blocking_through_a_call_is_flagged(self):
+        result = run(
+            module(
+                """\
+                import threading
+                import time
+
+                class Sleeper:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def nap(self):
+                        with self._lock:
+                            self._slow()
+
+                    def _slow(self):
+                        time.sleep(0.1)
+                """
+            )
+        )
+        assert "blocking-under-lock" in rules_fired(result)
+
+    def test_blocking_outside_the_lock_is_clean(self):
+        result = run(
+            module(
+                """\
+                import threading
+                import time
+
+                class Sleeper:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.n = 0
+
+                    def nap(self):
+                        with self._lock:
+                            self.n += 1
+                        time.sleep(0.1)
+                """
+            )
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_nonblocking_queue_put_is_clean(self):
+        result = run(
+            module(
+                """\
+                import queue
+                import threading
+
+                class Pusher:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._q = queue.Queue()
+
+                    def push(self, item):
+                        with self._lock:
+                            self._q.put(item, block=False)
+                """
+            )
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+
+class TestLockOrder:
+    def test_both_orders_is_a_deadlock_hazard(self):
+        result = run(
+            module(
+                """\
+                import threading
+
+                class Pair:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def ab(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def ba(self):
+                        with self._b:
+                            with self._a:
+                                pass
+                """
+            )
+        )
+        assert rules_fired(result) == ["lock-order"]
+        assert len(result.findings) == 1  # one finding per pair, not two
+
+    def test_consistent_order_is_clean(self):
+        result = run(
+            module(
+                """\
+                import threading
+
+                class Pair:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def one(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def two(self):
+                        with self._a:
+                            with self._b:
+                                pass
+                """
+            )
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+
+class TestUnmanagedThread:
+    def test_discarded_thread_is_flagged(self):
+        result = run(
+            module(
+                """\
+                import threading
+
+                def fire(work):
+                    threading.Thread(target=work).start()
+                """
+            )
+        )
+        assert rules_fired(result) == ["unmanaged-thread"]
+
+    def test_joined_attr_thread_is_clean(self):
+        result = run(
+            module(
+                """\
+                import threading
+
+                class Owner:
+                    def __init__(self):
+                        self._thread = None
+
+                    def start(self, work):
+                        self._thread = threading.Thread(target=work)
+                        self._thread.start()
+
+                    def stop(self):
+                        self._thread.join()
+                """
+            )
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_stop_event_counts_as_managed(self):
+        result = run(
+            module(
+                """\
+                import threading
+
+                class Owner:
+                    def __init__(self):
+                        self._stop = threading.Event()
+                        self._thread = None
+
+                    def start(self):
+                        self._thread = threading.Thread(target=self._run)
+                        self._thread.start()
+
+                    def stop(self):
+                        self._stop.set()
+
+                    def _run(self):
+                        while not self._stop.is_set():
+                            pass
+                """
+            )
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_locally_joined_thread_is_clean(self):
+        result = run(
+            module(
+                """\
+                import threading
+
+                def run_once(work):
+                    t = threading.Thread(target=work)
+                    t.start()
+                    t.join()
+                """
+            )
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+
+class TestPragmas:
+    def test_justified_pragma_suppresses_a_concurrency_finding(self):
+        result = run(
+            module(
+                """\
+                import threading
+                import time
+
+                class Sleeper:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def nap(self):
+                        with self._lock:
+                            time.sleep(0.1)  # flowlint: disable=blocking-under-lock -- test-only fixture, single-threaded
+                """
+            )
+        )
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestSelfCheck:
+    def test_repository_lints_clean_with_concurrency_rules(self):
+        """`repro lint --concurrency` over the shipped tree — the CI gate."""
+        project = Project.load([REPO_SRC])
+        engine = LintEngine(default_rules() + concurrency_rules())
+        result = engine.run(project)
+        assert result.ok, "\n" + "\n".join(f.render() for f in result.findings)
